@@ -1,0 +1,85 @@
+// Command ftbench regenerates the paper-reproduction experiment tables
+// (E1–E14, see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	ftbench [-experiment E7] [-quick] [-seed 12345] [-out results]
+//
+// With no -experiment flag, every registered experiment runs. Each table is
+// printed to stdout and written to <out>/<ID>.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ftspanner/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
+	var (
+		id    = fs.String("experiment", "", "run a single experiment by ID (e.g. E7); empty = all")
+		quick = fs.Bool("quick", false, "shrink sweeps to CI size")
+		seed  = fs.Int64("seed", 12345, "random seed (runs are deterministic per seed)")
+		out   = fs.String("out", "results", "directory for per-experiment table files (empty = stdout only)")
+		list  = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var exps []bench.Experiment
+	if *id == "" {
+		exps = bench.All()
+	} else {
+		e, ok := bench.ByID(*id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *id)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	for _, e := range exps {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		text := table.Format()
+		fmt.Fprint(stdout, text)
+		fmt.Fprintf(stdout, "(%s finished in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			path := filepath.Join(*out, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				return fmt.Errorf("%s: write %s: %w", e.ID, path, err)
+			}
+		}
+	}
+	return nil
+}

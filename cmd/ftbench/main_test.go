@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E7", "E14"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	// E4 is the cheapest experiment (milliseconds).
+	if err := run([]string{"-experiment", "E4", "-quick", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== E4:") {
+		t.Errorf("stdout missing table:\n%s", out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "E4.txt"))
+	if err != nil {
+		t.Fatalf("result file not written: %v", err)
+	}
+	if !strings.Contains(string(data), "gap respected") {
+		t.Error("result file missing table content")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "E99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestStdoutOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "E4", "-quick", "-out", ""}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("no stdout output with -out ''")
+	}
+}

@@ -1,0 +1,151 @@
+// Command ftspanner builds a fault-tolerant spanner of a graph given in the
+// package text format (see ReadGraph) and writes the spanner in the same
+// format.
+//
+// Usage:
+//
+//	ftspanner -k 2 -f 2 [-mode vertex|edge] [-algorithm modified|exact|dk11|local|congest|greedy|baswana-sen]
+//	          [-in graph.txt] [-out spanner.txt] [-verify N] [-seed 1]
+//
+// The default algorithm is the paper's polynomial-time modified greedy.
+// Construction statistics go to stderr; -verify N additionally checks the
+// result against N random fault sets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"ftspanner"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ftspanner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ftspanner", flag.ContinueOnError)
+	var (
+		k      = fs.Int("k", 2, "stretch parameter; the spanner has stretch 2k-1")
+		f      = fs.Int("f", 1, "fault budget (number of simultaneous failures tolerated)")
+		mode   = fs.String("mode", "vertex", "fault mode: vertex or edge")
+		algo   = fs.String("algorithm", "modified", "modified | exact | dk11 | local | congest | greedy | baswana-sen")
+		inFile = fs.String("in", "", "input graph file (default stdin)")
+		out    = fs.String("out", "", "output spanner file (default stdout)")
+		trials = fs.Int("verify", 0, "verify the output against N random fault sets")
+		seed   = fs.Int64("seed", 1, "seed for randomized algorithms and verification")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var fmode ftspanner.FaultMode
+	switch *mode {
+	case "vertex":
+		fmode = ftspanner.VertexFaults
+	case "edge":
+		fmode = ftspanner.EdgeFaults
+	default:
+		return fmt.Errorf("unknown -mode %q (want vertex or edge)", *mode)
+	}
+
+	in := stdin
+	if *inFile != "" {
+		file, err := os.Open(*inFile)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		in = file
+	}
+	g, err := ftspanner.ReadGraph(in)
+	if err != nil {
+		return err
+	}
+
+	opts := ftspanner.Options{K: *k, F: *f, Mode: fmode}
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	var h *ftspanner.Graph
+	switch *algo {
+	case "modified":
+		var stats ftspanner.Stats
+		h, stats, err = ftspanner.Build(g, opts)
+		if err == nil {
+			fmt.Fprintf(stderr, "modified greedy: %d BFS passes\n", stats.BFSPasses)
+		}
+	case "exact":
+		var stats ftspanner.Stats
+		h, stats, err = ftspanner.BuildExact(g, opts)
+		if err == nil {
+			fmt.Fprintf(stderr, "exact greedy: %d fault sets tried\n", stats.FaultSetsTried)
+		}
+	case "dk11":
+		h, err = ftspanner.DK11Spanner(rng, g, *k, *f, 0)
+	case "local":
+		var res *ftspanner.LocalResult
+		res, err = ftspanner.BuildLOCAL(g, opts, *seed)
+		if err == nil {
+			h = res.Spanner
+			fmt.Fprintf(stderr, "LOCAL: %d rounds (decomp %d, max cluster diameter %d)\n",
+				res.Rounds, res.DecompRounds, res.MaxClusterDiameter)
+		}
+	case "congest":
+		var res *ftspanner.DistResult
+		h, res, err = ftspanner.BuildCONGEST(g, opts, 0, *seed)
+		if err == nil {
+			fmt.Fprintf(stderr, "CONGEST: %d logical rounds, %d charged rounds, %d messages\n",
+				res.LogicalRounds, res.ChargedRounds, res.Messages)
+		}
+	case "greedy":
+		h, err = ftspanner.GreedySpanner(g, *k)
+	case "baswana-sen":
+		h, err = ftspanner.BaswanaSenSpanner(rng, g, *k)
+	default:
+		return fmt.Errorf("unknown -algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(stderr, "input: %v; spanner: %d edges (%.1f%%), stretch %d, f=%d (%s faults), built in %s\n",
+		g, h.M(), 100*float64(h.M())/float64(max(1, g.M())), opts.Stretch(), *f, *mode, elapsed.Round(time.Millisecond))
+
+	if *trials > 0 {
+		rep, err := ftspanner.VerifySampled(g, h, float64(opts.Stretch()), *f, fmode, rng, *trials)
+		if err != nil {
+			return err
+		}
+		if rep.OK {
+			fmt.Fprintf(stderr, "verify: PASS (%d fault sets sampled)\n", rep.FaultSetsChecked)
+		} else {
+			fmt.Fprintf(stderr, "verify: FAIL: %v\n", rep.Violation)
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	return ftspanner.WriteGraph(w, h)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

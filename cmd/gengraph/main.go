@@ -1,0 +1,115 @@
+// Command gengraph generates synthetic graph workloads in the package text
+// format, for piping into ftspanner.
+//
+// Usage:
+//
+//	gengraph -type gnp -n 512 -p 0.05 [-seed 1] [-weights 1,10] > graph.txt
+//	gengraph -type geometric -n 512 -r 0.08          # weighted by distance
+//	gengraph -type grid -rows 16 -cols 16
+//	gengraph -type hypercube -dim 8
+//	gengraph -type ba -n 512 -attach 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftspanner"
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	var (
+		typ     = fs.String("type", "gnp", "gnp | gnm | geometric | grid | torus | hypercube | complete | ba | regular | ws | tree | path | cycle | star")
+		n       = fs.Int("n", 128, "vertex count (where applicable)")
+		m       = fs.Int("m", 512, "edge count (gnm)")
+		p       = fs.Float64("p", 0.05, "edge probability (gnp) / rewire probability (ws)")
+		r       = fs.Float64("r", 0.1, "connection radius (geometric)")
+		rows    = fs.Int("rows", 8, "grid/torus rows")
+		cols    = fs.Int("cols", 8, "grid/torus cols")
+		dim     = fs.Int("dim", 6, "hypercube dimension")
+		attach  = fs.Int("attach", 3, "edges per new vertex (ba)")
+		degree  = fs.Int("degree", 4, "degree (regular) / lattice neighbors per side (ws)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		weights = fs.String("weights", "", "assign uniform weights, e.g. 1,10 for U[1,10)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch *typ {
+	case "gnp":
+		g, err = gen.GNP(rng, *n, *p)
+	case "gnm":
+		g, err = gen.GNM(rng, *n, *m)
+	case "geometric":
+		g, _, err = gen.Geometric(rng, *n, *r, true)
+	case "grid":
+		g, err = gen.Grid(*rows, *cols)
+	case "torus":
+		g, err = gen.Torus(*rows, *cols)
+	case "hypercube":
+		g, err = gen.Hypercube(*dim)
+	case "complete":
+		g = gen.Complete(*n)
+	case "ba":
+		g, err = gen.BarabasiAlbert(rng, *n, *attach)
+	case "regular":
+		g, err = gen.RandomRegular(rng, *n, *degree)
+	case "ws":
+		g, err = gen.WattsStrogatz(rng, *n, *degree, *p)
+	case "tree":
+		g = gen.RandomTree(rng, *n)
+	case "path":
+		g = gen.Path(*n)
+	case "cycle":
+		g, err = gen.Cycle(*n)
+	case "star":
+		g = gen.Star(*n)
+	default:
+		return fmt.Errorf("unknown -type %q", *typ)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *weights != "" {
+		parts := strings.SplitN(*weights, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-weights wants lo,hi; got %q", *weights)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("-weights wants numbers; got %q", *weights)
+		}
+		if g.Weighted() {
+			return fmt.Errorf("-weights cannot re-weight an already weighted graph (type %s)", *typ)
+		}
+		if g, err = gen.UniformWeights(rng, g, lo, hi); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stderr, "generated %v (type %s, seed %d)\n", g, *typ, *seed)
+	return ftspanner.WriteGraph(stdout, g)
+}

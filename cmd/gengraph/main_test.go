@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftspanner"
+)
+
+func generate(t *testing.T, args ...string) (*ftspanner.Graph, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	g, err := ftspanner.ReadGraph(&out)
+	if err != nil {
+		t.Fatalf("output of run(%v) is not a valid graph: %v", args, err)
+	}
+	return g, errBuf.String()
+}
+
+func TestTypes(t *testing.T) {
+	tests := []struct {
+		args     []string
+		wantN    int
+		weighted bool
+	}{
+		{[]string{"-type", "gnp", "-n", "50", "-p", "0.2", "-seed", "1"}, 50, false},
+		{[]string{"-type", "gnm", "-n", "30", "-m", "60"}, 30, false},
+		{[]string{"-type", "geometric", "-n", "40", "-r", "0.3"}, 40, true},
+		{[]string{"-type", "grid", "-rows", "4", "-cols", "5"}, 20, false},
+		{[]string{"-type", "torus", "-rows", "4", "-cols", "5"}, 20, false},
+		{[]string{"-type", "hypercube", "-dim", "4"}, 16, false},
+		{[]string{"-type", "complete", "-n", "7"}, 7, false},
+		{[]string{"-type", "ba", "-n", "40", "-attach", "2"}, 40, false},
+		{[]string{"-type", "regular", "-n", "20", "-degree", "4"}, 20, false},
+		{[]string{"-type", "ws", "-n", "30", "-degree", "2", "-p", "0.1"}, 30, false},
+		{[]string{"-type", "tree", "-n", "25"}, 25, false},
+		{[]string{"-type", "path", "-n", "9"}, 9, false},
+		{[]string{"-type", "cycle", "-n", "9"}, 9, false},
+		{[]string{"-type", "star", "-n", "9"}, 9, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.args[1], func(t *testing.T) {
+			g, stderr := generate(t, tc.args...)
+			if g.N() != tc.wantN {
+				t.Errorf("n = %d, want %d", g.N(), tc.wantN)
+			}
+			if g.Weighted() != tc.weighted {
+				t.Errorf("weighted = %v, want %v", g.Weighted(), tc.weighted)
+			}
+			if !strings.Contains(stderr, "generated") {
+				t.Errorf("stderr missing summary: %q", stderr)
+			}
+		})
+	}
+}
+
+func TestWeightsFlag(t *testing.T) {
+	g, _ := generate(t, "-type", "gnp", "-n", "30", "-p", "0.3", "-weights", "2,5")
+	if !g.Weighted() {
+		t.Fatal("graph not weighted")
+	}
+	for _, e := range g.Edges() {
+		if e.W < 2 || e.W >= 5 {
+			t.Fatalf("weight %v outside [2,5)", e.W)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-type", "nosuch"},
+		{"-type", "gnp", "-n", "-3"},
+		{"-type", "gnm", "-n", "5", "-m", "100"},
+		{"-type", "gnp", "-weights", "bogus"},
+		{"-type", "gnp", "-weights", "5"},
+		{"-type", "geometric", "-weights", "1,2"}, // already weighted
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	var a, b, e bytes.Buffer
+	if err := run([]string{"-type", "gnp", "-n", "40", "-p", "0.2", "-seed", "9"}, &a, &e); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-type", "gnp", "-n", "40", "-p", "0.2", "-seed", "9"}, &b, &e); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}

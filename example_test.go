@@ -1,0 +1,82 @@
+package ftspanner_test
+
+import (
+	"fmt"
+
+	"ftspanner"
+)
+
+// Build a 1-fault-tolerant 3-spanner of a small complete graph and verify
+// it against every possible single-vertex failure.
+func ExampleBuild() {
+	g := ftspanner.CompleteGraph(8) // K8: 28 edges
+
+	h, _, err := ftspanner.Build(g, ftspanner.Options{K: 2, F: 1})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := ftspanner.Verify(g, h, 3, 1, ftspanner.VertexFaults)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("spanner kept %d of %d edges; valid 1-VFT 3-spanner: %v\n",
+		h.M(), g.M(), rep.OK)
+	// Output:
+	// spanner kept 13 of 28 edges; valid 1-VFT 3-spanner: true
+}
+
+// The stretch guarantee also covers edge faults.
+func ExampleBuild_edgeFaults() {
+	g := ftspanner.CompleteGraph(8)
+
+	h, _, err := ftspanner.Build(g, ftspanner.Options{K: 2, F: 2, Mode: ftspanner.EdgeFaults})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := ftspanner.Verify(g, h, 3, 2, ftspanner.EdgeFaults)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("valid 2-EFT 3-spanner: %v\n", rep.OK)
+	// Output:
+	// valid 2-EFT 3-spanner: true
+}
+
+// MaxStretch measures the realized detour factor after concrete failures.
+func ExampleMaxStretch() {
+	g := ftspanner.CompleteGraph(10)
+	h, _, err := ftspanner.Build(g, ftspanner.Options{K: 2, F: 2})
+	if err != nil {
+		panic(err)
+	}
+	s, err := ftspanner.MaxStretch(g, h, []int{3, 7}, ftspanner.VertexFaults)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("worst stretch with vertices 3 and 7 down: %.0f (guarantee: 3)\n", s)
+	// Output:
+	// worst stretch with vertices 3 and 7 down: 2 (guarantee: 3)
+}
+
+// Graphs round-trip through a plain text format.
+func ExampleWriteGraph() {
+	g := ftspanner.NewWeightedGraph(3)
+	g.MustAddEdgeW(0, 1, 2.5)
+	g.MustAddEdgeW(1, 2, 1.0)
+
+	var err error
+	if err = ftspanner.WriteGraph(printer{}, g); err != nil {
+		panic(err)
+	}
+	// Output:
+	// graph 3 2 weighted
+	// 0 1 2.5
+	// 1 2 1
+}
+
+type printer struct{}
+
+func (printer) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

@@ -1,0 +1,77 @@
+// Backbone: survivable WAN design with weighted geometric graphs.
+//
+// This is the scenario that motivated fault-tolerant spanners: a wide-area
+// network whose link costs are distances, sparsified so that routing remains
+// near-optimal even while routers fail. We compare a plain (non-fault-
+// tolerant) greedy spanner against the paper's 2-fault-tolerant construction
+// under random router failures: the plain spanner disconnects traffic or
+// blows up its detour factor, the fault-tolerant one keeps every detour
+// within the stretch guarantee.
+//
+//	go run ./examples/backbone
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"ftspanner"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// 400 routers placed in the unit square; links between routers within
+	// radius 0.11, weighted by distance.
+	g, _, err := ftspanner.GeometricGraph(rng, 400, 0.11, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backbone: %v, total fiber %.1f\n", g, g.TotalWeight())
+
+	// Plain 3-spanner (no fault tolerance) vs 2-fault-tolerant 3-spanner.
+	plain, err := ftspanner.GreedySpanner(g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ft, _, err := ftspanner.Build(g, ftspanner.Options{K: 2, F: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain 3-spanner:        %5d links, fiber %.1f\n", plain.M(), plain.TotalWeight())
+	fmt.Printf("2-FT 3-spanner:         %5d links, fiber %.1f\n", ft.M(), ft.TotalWeight())
+
+	// Fail random router pairs and measure worst detour (stretch) on each.
+	const trials = 30
+	plainWorst, ftWorst := 1.0, 1.0
+	plainDisconnects := 0
+	for i := 0; i < trials; i++ {
+		faults := []int{rng.Intn(g.N()), rng.Intn(g.N())}
+		ps, err := ftspanner.MaxStretch(g, plain, faults, ftspanner.VertexFaults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs, err := ftspanner.MaxStretch(g, ft, faults, ftspanner.VertexFaults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if math.IsInf(ps, 1) {
+			plainDisconnects++
+		} else if ps > plainWorst {
+			plainWorst = ps
+		}
+		if fs > ftWorst {
+			ftWorst = fs
+		}
+	}
+	fmt.Printf("\nunder %d random 2-router failures:\n", trials)
+	fmt.Printf("  plain spanner: worst finite detour %.2fx, disconnected traffic in %d/%d trials\n",
+		plainWorst, plainDisconnects, trials)
+	fmt.Printf("  FT spanner:    worst detour %.2fx (guarantee: 3x), disconnected 0 times\n", ftWorst)
+
+	if math.IsInf(ftWorst, 1) || ftWorst > 3.0000001 {
+		log.Fatalf("fault-tolerant spanner violated its guarantee: %v", ftWorst)
+	}
+}

@@ -1,0 +1,73 @@
+// Distributed: the paper's LOCAL and CONGEST constructions on a simulated
+// network.
+//
+// Runs Theorem 12 (LOCAL: padded decomposition + per-cluster greedy) on a
+// torus — where cluster structure is non-trivial — and Theorem 15 (CONGEST:
+// parallel Baswana-Sen iterations over DK11 sampling) on a random graph,
+// reporting the round counts the theorems bound.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"ftspanner"
+)
+
+func main() {
+	// --- LOCAL (Theorem 12) on a 20x20 torus -------------------------
+	torus, err := ftspanner.TorusGraph(20, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lres, err := ftspanner.BuildLOCAL(torus, ftspanner.Options{K: 2, F: 1}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LOCAL on %v:\n", torus)
+	fmt.Printf("  rounds: %d total = %d decomposition + 2 x %d cluster diameter + 2\n",
+		lres.Rounds, lres.DecompRounds, lres.MaxClusterDiameter)
+	fmt.Printf("  clusters: %d across %d partitions; spanner %d edges\n",
+		lres.Clusters, len(lres.Decomp.Centers), lres.Spanner.M())
+	fmt.Printf("  O(log n) check: rounds %d vs n %d (diameter of torus is %d)\n\n",
+		lres.Rounds, torus.N(), 20)
+
+	// --- CONGEST (Theorem 15) on a random graph ----------------------
+	rng := rand.New(rand.NewSource(13))
+	g, err := ftspanner.RandomConnectedGraph(rng, 128, 0.1, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, dres, err := ftspanner.BuildCONGEST(g, ftspanner.Options{K: 2, F: 2}, 0, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CONGEST on %v (f=2):\n", g)
+	fmt.Printf("  logical rounds (lockstep schedule): %d\n", dres.LogicalRounds)
+	fmt.Printf("  charged rounds (congestion-scheduled): %d\n", dres.ChargedRounds)
+	fmt.Printf("  messages: %d, worst edge load in a round: %d bits\n",
+		dres.Messages, dres.MaxEdgeBitsPerRound)
+	fmt.Printf("  spanner: %d edges\n", h.M())
+
+	// Sanity: the distributed spanner still verifies under fault sampling.
+	rep, err := ftspanner.VerifySampled(g, h, 3, 2, ftspanner.VertexFaults, rng, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  verify: OK=%v over %d sampled fault sets\n\n", rep.OK, rep.FaultSetsChecked)
+
+	// --- CONGEST Baswana-Sen substrate (Theorem 14) -------------------
+	bsH, bsRes, err := ftspanner.BaswanaSenCONGEST(g, 3, 19)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := 3 * math.Pow(float64(g.N()), 1+1.0/3)
+	fmt.Printf("CONGEST Baswana-Sen (k=3) on the same graph:\n")
+	fmt.Printf("  rounds: %d (O(k^2)); every message within bandwidth: %v\n",
+		bsRes.LogicalRounds, bsRes.ChargedRounds == bsRes.LogicalRounds)
+	fmt.Printf("  spanner: %d edges vs k*n^(1+1/k) = %.0f\n", bsH.M(), bound)
+}

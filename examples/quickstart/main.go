@@ -1,0 +1,55 @@
+// Quickstart: build a fault-tolerant spanner in 30 seconds.
+//
+// Generates a random graph, builds a 2-fault-tolerant 3-spanner with the
+// paper's polynomial-time algorithm, verifies it exhaustively-by-sampling,
+// and shows what happens to distances when vertices actually fail.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ftspanner"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// A random network: 300 nodes, average degree ~20.
+	g, err := ftspanner.RandomGraph(rng, 300, 20.0/299)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input:   %v\n", g)
+
+	// Build an f-fault-tolerant (2k-1)-spanner: k=2, f=2 gives stretch 3
+	// surviving any 2 vertex failures.
+	opts := ftspanner.Options{K: 2, F: 2}
+	h, stats, err := ftspanner.Build(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spanner: %v (%.1f%% of edges kept, %d BFS passes, Theorem 8 bound %.0f)\n",
+		h, 100*float64(h.M())/float64(g.M()), stats.BFSPasses,
+		ftspanner.SizeBound(g.N(), opts.K, opts.F))
+
+	// Verify against 200 random 2-vertex fault sets.
+	rep, err := ftspanner.VerifySampled(g, h, float64(opts.Stretch()), opts.F,
+		ftspanner.VertexFaults, rng, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verify:  OK=%v over %d sampled fault sets\n", rep.OK, rep.FaultSetsChecked)
+
+	// Fail two random vertices and measure the worst stretch that remains.
+	faults := []int{rng.Intn(g.N()), rng.Intn(g.N())}
+	stretch, err := ftspanner.MaxStretch(g, h, faults, ftspanner.VertexFaults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("faults:  killing vertices %v leaves max stretch %.2f (guarantee: %d)\n",
+		faults, stretch, opts.Stretch())
+}

@@ -1,0 +1,212 @@
+// Package ftspanner constructs fault-tolerant graph spanners in polynomial
+// time, implementing "Efficient and Simple Algorithms for Fault-Tolerant
+// Spanners" (Dinitz & Robelle, PODC 2020).
+//
+// An f-fault-tolerant t-spanner of a graph G is a subgraph H such that for
+// every set F of at most f failed vertices (or edges) and every surviving
+// pair u, v:
+//
+//	d_{H\F}(u, v) ≤ t · d_{G\F}(u, v)
+//
+// The package's central construction is Build, the paper's modified greedy
+// algorithm (Theorem 2): given stretch parameter k and fault budget f it
+// returns an f-fault-tolerant (2k-1)-spanner with O(k·f^(1-1/k)·n^(1+1/k))
+// edges in O(m·k·f^(2-1/k)·n^(1+1/k)) time, for both unweighted and weighted
+// graphs and both vertex and edge faults.
+//
+// Also provided: the exponential-time size-optimal greedy (BuildExact), the
+// classic non-fault-tolerant greedy and Baswana–Sen spanners, the
+// Dinitz–Krauthgamer reduction, distributed constructions in the LOCAL and
+// CONGEST models (BuildLOCAL, BuildCONGEST) on a message-passing simulator,
+// verification utilities (Verify, VerifySampled, MaxStretch), and
+// reproducible random workload generators (see the Random* helpers).
+//
+// Quick start:
+//
+//	g := ftspanner.NewGraph(1000)
+//	// ... add edges with g.AddEdge / g.AddEdgeW ...
+//	h, stats, err := ftspanner.Build(g, ftspanner.Options{K: 2, F: 2})
+//	// h is a 2-fault-tolerant 3-spanner of g.
+package ftspanner
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ftspanner/internal/core"
+	"ftspanner/internal/dist"
+	"ftspanner/internal/dist/congest"
+	"ftspanner/internal/dist/local"
+	"ftspanner/internal/dk11"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/spanner"
+	"ftspanner/internal/verify"
+)
+
+// Graph is an undirected graph with optional non-negative edge weights.
+// Construct with NewGraph or NewWeightedGraph; see the methods on the type
+// for mutation and queries.
+type Graph = graph.Graph
+
+// Edge is an undirected weighted edge of a Graph.
+type Edge = graph.Edge
+
+// NewGraph returns an empty unweighted graph on n vertices (IDs 0..n-1).
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewWeightedGraph returns an empty weighted graph on n vertices.
+func NewWeightedGraph(n int) *Graph { return graph.NewWeighted(n) }
+
+// ReadGraph decodes a graph from the package's text format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph encodes a graph in the package's text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// FaultMode selects vertex faults (VFT) or edge faults (EFT).
+type FaultMode = lbc.Mode
+
+// Fault modes.
+const (
+	// VertexFaults protects against up to f failed vertices.
+	VertexFaults = lbc.Vertex
+	// EdgeFaults protects against up to f failed edges.
+	EdgeFaults = lbc.Edge
+)
+
+// Stats reports construction effort; see Build.
+type Stats = core.Stats
+
+// Options parameterizes Build and BuildExact.
+type Options struct {
+	// K is the stretch parameter: the constructed spanner has stretch 2K-1.
+	// Must be >= 1.
+	K int
+	// F is the fault budget: the number of simultaneous failures tolerated.
+	// F = 0 yields an ordinary (non-fault-tolerant) spanner.
+	F int
+	// Mode selects vertex or edge faults. Zero value means VertexFaults.
+	Mode FaultMode
+}
+
+func (o Options) mode() FaultMode {
+	if o.Mode == 0 {
+		return VertexFaults
+	}
+	return o.Mode
+}
+
+// Stretch returns the stretch 2K-1 the options request.
+func (o Options) Stretch() int { return core.Stretch(o.K) }
+
+// Build constructs an F-fault-tolerant (2K-1)-spanner of g with the paper's
+// polynomial-time modified greedy algorithm (Algorithm 3 on unweighted
+// graphs, Algorithm 4 on weighted graphs). The output is a new subgraph of
+// g; g is not modified.
+func Build(g *Graph, opts Options) (*Graph, Stats, error) {
+	return core.ModifiedGreedy(g, opts.K, opts.F, opts.mode())
+}
+
+// BuildExact constructs the spanner with the original exponential-time
+// greedy (Algorithm 1), whose size is fully optimal,
+// O(f^(1-1/k)·n^(1+1/k)). Its edge test enumerates all C(n, F) fault sets —
+// use only on small instances (the paper's open problem that Build answers
+// was precisely avoiding this cost).
+func BuildExact(g *Graph, opts Options) (*Graph, Stats, error) {
+	return core.ExactGreedy(g, opts.K, opts.F, opts.mode())
+}
+
+// SizeBound returns the Theorem 8 size bound k·f^(1-1/k)·n^(1+1/k) (without
+// its constant); useful for normalizing measured sizes.
+func SizeBound(n, k, f int) float64 { return core.SizeBound(n, k, f) }
+
+// GreedySpanner builds a non-fault-tolerant (2k-1)-spanner with the classic
+// greedy algorithm of Althöfer et al. (size O(n^(1+1/k))).
+func GreedySpanner(g *Graph, k int) (*Graph, error) { return spanner.Greedy(g, k) }
+
+// BaswanaSenSpanner builds a non-fault-tolerant (2k-1)-spanner with the
+// randomized algorithm of Baswana and Sen (expected size O(k·n^(1+1/k))).
+// The stretch guarantee holds on every run.
+func BaswanaSenSpanner(rng *rand.Rand, g *Graph, k int) (*Graph, error) {
+	return spanner.BaswanaSen(rng, g, k)
+}
+
+// DK11Spanner builds an f-vertex-fault-tolerant (2k-1)-spanner with the
+// Dinitz–Krauthgamer reduction over the classic greedy: size
+// O(f^(2-1/k)·n^(1+1/k)·log n), guarantee with high probability. iterations
+// = 0 selects the canonical ⌈f³·ln n⌉.
+func DK11Spanner(rng *rand.Rand, g *Graph, k, f, iterations int) (*Graph, error) {
+	if iterations == 0 {
+		iterations = dk11.DefaultIterations(g.N(), f)
+	}
+	return dk11.Construct(rng, g, f, iterations, func(r *rand.Rand, sub *Graph) (*Graph, error) {
+		return spanner.Greedy(sub, k)
+	})
+}
+
+// LocalResult is the outcome of BuildLOCAL: the spanner plus LOCAL-model
+// round accounting.
+type LocalResult = local.Result
+
+// BuildLOCAL runs the paper's Theorem 12 LOCAL-model algorithm: padded
+// decomposition plus per-cluster greedy, O(log n) rounds and size
+// O(f^(1-1/k)·n^(1+1/k)·log n) with high probability (vertex faults).
+func BuildLOCAL(g *Graph, opts Options, seed int64) (*LocalResult, error) {
+	if opts.mode() != VertexFaults {
+		return nil, fmt.Errorf("ftspanner: the LOCAL construction supports vertex faults only")
+	}
+	return local.FTSpanner(g, local.Options{K: opts.K, F: opts.F, Seed: seed})
+}
+
+// DistResult carries the message-passing engine's accounting for a
+// distributed run: logical rounds, CONGEST-charged rounds, message and bit
+// totals, and worst per-edge congestion.
+type DistResult = dist.Result
+
+// BuildCONGEST runs the paper's Theorem 15 CONGEST-model algorithm
+// (Dinitz–Krauthgamer over distributed Baswana–Sen, all iterations in
+// parallel under congestion scheduling). iterations = 0 selects the
+// canonical ⌈f³·ln n⌉. Vertex faults, guarantee with high probability;
+// size O(k·f^(2-1/k)·n^(1+1/k)·log n).
+func BuildCONGEST(g *Graph, opts Options, iterations int, seed int64) (*Graph, *DistResult, error) {
+	if opts.mode() != VertexFaults {
+		return nil, nil, fmt.Errorf("ftspanner: the CONGEST construction supports vertex faults only")
+	}
+	return congest.FTSpanner(g, opts.K, opts.F, iterations, seed)
+}
+
+// BaswanaSenCONGEST runs the distributed Baswana–Sen (2k-1)-spanner
+// (Theorem 14) in the CONGEST model: O(k²) rounds, O(log n)-bit messages.
+func BaswanaSenCONGEST(g *Graph, k int, seed int64) (*Graph, *DistResult, error) {
+	return congest.BaswanaSen(g, k, seed)
+}
+
+// VerifyReport summarizes a verification run; see Verify.
+type VerifyReport = verify.Report
+
+// Violation is a concrete counterexample to the spanner property.
+type Violation = verify.Violation
+
+// Verify checks exhaustively (over every fault set of size at most f)
+// whether h is an f-fault-tolerant t-spanner of g. Exponential in f; for
+// large instances use VerifySampled.
+func Verify(g, h *Graph, t float64, f int, mode FaultMode) (VerifyReport, error) {
+	return verify.Exhaustive(g, h, t, f, mode)
+}
+
+// VerifySampled checks h against the empty fault set plus trials random
+// fault sets of size f. A reported violation is definite; OK is evidence,
+// not proof.
+func VerifySampled(g, h *Graph, t float64, f int, mode FaultMode, rng *rand.Rand, trials int) (VerifyReport, error) {
+	return verify.Sampled(g, h, t, f, mode, rng, trials)
+}
+
+// MaxStretch measures the worst realized stretch of h against g after
+// failing the given vertices or g-edge IDs (per mode): the maximum over
+// surviving vertex pairs of d_{H\F}/d_{G\F}, +Inf if h disconnects a pair
+// that g keeps connected.
+func MaxStretch(g, h *Graph, faultIDs []int, mode FaultMode) (float64, error) {
+	return verify.MaxStretch(g, h, faultIDs, mode)
+}

@@ -1,0 +1,253 @@
+package ftspanner
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEndToEndUnweighted is the full public-API pipeline: generate, build,
+// verify, round-trip through the text format.
+func TestEndToEndUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomConnectedGraph(rng, 40, 0.25, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 2, F: 1}
+	h, stats, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EdgesAdded != h.M() || stats.EdgesConsidered != g.M() {
+		t.Errorf("stats inconsistent: %+v", stats)
+	}
+	rep, err := Verify(g, h, float64(opts.Stretch()), 1, VertexFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("spanner invalid: %v", rep.Violation)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsSubgraphOf(h) || !h.IsSubgraphOf(back) {
+		t.Error("text round trip changed the spanner")
+	}
+}
+
+func TestEndToEndWeightedEdgeFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, _, err := GeometricGraph(rng, 30, 0.35, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := Build(g, Options{K: 2, F: 1, Mode: EdgeFaults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(g, h, 3, 1, EdgeFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("weighted EFT spanner invalid: %v", rep.Violation)
+	}
+}
+
+func TestDefaultModeIsVertexFaults(t *testing.T) {
+	g := CompleteGraph(8)
+	h1, _, err := Build(g, Options{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := Build(g, Options{K: 2, F: 1, Mode: VertexFaults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h1.IsSubgraphOf(h2) || !h2.IsSubgraphOf(h1) {
+		t.Error("zero-value mode differs from explicit VertexFaults")
+	}
+}
+
+func TestBuildExactSmall(t *testing.T) {
+	g := CompleteGraph(10)
+	exact, _, err := BuildExact(g, Options{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, _, err := Build(g, Options{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.M() > approx.M() {
+		t.Logf("note: exact %d > approx %d edges on K10 (possible; bound is aggregate)", exact.M(), approx.M())
+	}
+	rep, err := Verify(g, exact, 3, 1, VertexFaults)
+	if err != nil || !rep.OK {
+		t.Fatalf("exact spanner invalid: %v %v", rep.Violation, err)
+	}
+}
+
+func TestBaselinesPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := CompleteGraph(24)
+	greedy, err := GreedySpanner(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := BaswanaSenSpanner(rng, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk, err := DK11Spanner(rng, g, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range map[string]*Graph{"greedy": greedy, "baswana-sen": bs, "dk11": dk} {
+		if !h.IsSubgraphOf(g) {
+			t.Errorf("%s: not a subgraph", name)
+		}
+		rep, err := Verify(g, h, 3, 0, VertexFaults)
+		if err != nil || !rep.OK {
+			t.Errorf("%s: not a 3-spanner: %v %v", name, rep.Violation, err)
+		}
+	}
+}
+
+func TestDistributedPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := RandomConnectedGraph(rng, 20, 0.4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := BuildLOCAL(g, Options{K: 2, F: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(g, lres.Spanner, 3, 1, VertexFaults)
+	if err != nil || !rep.OK {
+		t.Errorf("LOCAL spanner invalid: %v %v", rep.Violation, err)
+	}
+	if lres.Rounds <= 0 {
+		t.Error("LOCAL rounds not reported")
+	}
+
+	h, dres, err := BuildCONGEST(g, Options{K: 2, F: 1}, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Verify(g, h, 3, 1, VertexFaults)
+	if err != nil || !rep.OK {
+		t.Errorf("CONGEST spanner invalid: %v %v", rep.Violation, err)
+	}
+	if dres.ChargedRounds < dres.LogicalRounds {
+		t.Error("CONGEST accounting inconsistent")
+	}
+
+	if _, err := BuildLOCAL(g, Options{K: 2, F: 1, Mode: EdgeFaults}, 1); err == nil {
+		t.Error("LOCAL with edge faults accepted")
+	}
+	if _, _, err := BuildCONGEST(g, Options{K: 2, F: 1, Mode: EdgeFaults}, 1, 1); err == nil {
+		t.Error("CONGEST with edge faults accepted")
+	}
+
+	bsH, bsRes, err := BaswanaSenCONGEST(g, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Verify(g, bsH, 3, 0, VertexFaults)
+	if err != nil || !rep.OK {
+		t.Errorf("CONGEST Baswana-Sen invalid: %v %v", rep.Violation, err)
+	}
+	if bsRes.ChargedRounds != bsRes.LogicalRounds {
+		t.Error("Baswana-Sen exceeded CONGEST bandwidth")
+	}
+}
+
+func TestMaxStretchPublic(t *testing.T) {
+	g := CompleteGraph(10)
+	h, _, err := Build(g, Options{K: 2, F: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := MaxStretch(g, h, []int{0, 1}, VertexFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 3 {
+		t.Errorf("stretch %v exceeds guarantee 3 under 2 faults", s)
+	}
+}
+
+// TestPropertyRandomGraphsAlwaysValid is the testing/quick property test at
+// the heart of the library: for random (seed, shape) draws, Build's output
+// always verifies as an f-fault-tolerant (2k-1)-spanner under sampled fault
+// sets, in all four (weighted) × (mode) combinations.
+func TestPropertyRandomGraphsAlwaysValid(t *testing.T) {
+	property := func(seed int64, nRaw, kRaw, fRaw uint8, weighted, edgeMode bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + int(nRaw%25) // 8..32
+		k := 2 + int(kRaw%2)  // 2..3
+		f := 1 + int(fRaw%2)  // 1..2
+		g, err := RandomGraph(rng, n, 0.35)
+		if err != nil {
+			return false
+		}
+		if weighted {
+			if g, err = UniformWeights(rng, g, 1, 9); err != nil {
+				return false
+			}
+		}
+		mode := VertexFaults
+		if edgeMode {
+			mode = EdgeFaults
+		}
+		h, _, err := Build(g, Options{K: k, F: f, Mode: mode})
+		if err != nil {
+			return false
+		}
+		rep, err := VerifySampled(g, h, float64(2*k-1), f, mode, rng, 30)
+		if err != nil {
+			return false
+		}
+		if !rep.OK {
+			t.Logf("violation: n=%d k=%d f=%d weighted=%v mode=%v: %v",
+				n, k, f, weighted, mode, rep.Violation)
+		}
+		return rep.OK
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySpannerNeverLargerThanInput: trivial but fundamental: Build
+// output is always a subgraph with no more edges, and contains every bridge
+// edge (tree edges must survive any spanner construction).
+func TestPropertySpannerSubgraph(t *testing.T) {
+	property := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + int(nRaw%40)
+		g, err := RandomGraph(rng, n, 0.2)
+		if err != nil {
+			return false
+		}
+		h, _, err := Build(g, Options{K: 2, F: 1})
+		if err != nil {
+			return false
+		}
+		return h.IsSubgraphOf(g) && h.M() <= g.M()
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package bench defines the paper-reproduction experiment suite.
+//
+// The paper (PODC 2020 theory) has no empirical section, so the "tables and
+// figures" this harness regenerates are its quantitative claims: every
+// theorem's size, time, or round bound becomes an experiment that measures
+// the claimed quantity and prints the rows DESIGN.md §4 indexes (E1–E14).
+// cmd/ftbench renders them; EXPERIMENTS.md records claim vs measured.
+//
+// Experiments are deterministic in Config.Seed. Config.Quick shrinks sweeps
+// for CI; the full sweep is the default.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Seed makes the whole experiment deterministic.
+	Seed int64
+	// Quick shrinks the sweeps (CI-sized).
+	Quick bool
+}
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper claim being measured
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cols ...string) {
+	t.Rows = append(t.Rows, cols)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered, regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Table, error)
+}
+
+// All returns the full experiment suite in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"E1", "Size vs n (Theorem 8 scaling)", runE1},
+		{"E2", "Size vs f (sublinear f^(1-1/k))", runE2},
+		{"E3", "Modified greedy vs exponential greedy (Theorem 2 vs BP19)", runE3},
+		{"E4", "Length-Bounded Cut gap decision (Theorem 4)", runE4},
+		{"E5", "Fault-tolerance validity (Theorems 5 and 10)", runE5},
+		{"E6", "Running time vs m (Theorem 9)", runE6},
+		{"E7", "DK11 baseline vs modified greedy (Theorem 13 vs Theorem 2)", runE7},
+		{"E8", "LOCAL construction (Theorem 12)", runE8},
+		{"E9", "CONGEST construction (Theorem 15)", runE9},
+		{"E10", "Distributed Baswana-Sen substrate (Theorem 14)", runE10},
+		{"E11", "Edge faults vs vertex faults (Section 6 open problem)", runE11},
+		{"E12", "Realized stretch distribution under faults (Lemma 3)", runE12},
+		{"E13", "Weight-ordering ablation (Theorem 10)", runE13},
+		{"E14", "Padded decomposition substrate (Theorem 11)", runE14},
+	}
+	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
+	return exps
+}
+
+func idOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared workload helpers -------------------------------------------
+
+// gnpDegree returns a G(n, p) sample with expected average degree deg.
+func gnpDegree(rng *rand.Rand, n, deg int) (*graph.Graph, error) {
+	p := float64(deg) / float64(n-1)
+	if p > 1 {
+		p = 1
+	}
+	return gen.GNP(rng, n, p)
+}
+
+func itoa(v int) string      { return fmt.Sprintf("%d", v) }
+func i64toa(v int64) string  { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func ftoa1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func btoa(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

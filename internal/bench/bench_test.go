@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in Quick mode and
+// checks structural sanity plus the PASS/FAIL verdict columns.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			table, err := exp.Run(Config{Seed: 12345, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if table.ID != exp.ID {
+				t.Errorf("table ID %q != experiment ID %q", table.ID, exp.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Errorf("row %v has %d columns, header has %d", row, len(row), len(table.Header))
+				}
+			}
+			// Verdict columns must be PASS — except E13, whose FAIL rows are
+			// the ablation's expected outcome.
+			if exp.ID == "E13" {
+				return
+			}
+			text := table.Format()
+			if strings.Contains(text, "FAIL") {
+				t.Errorf("%s reports FAIL:\n%s", exp.ID, text)
+			}
+		})
+	}
+}
+
+func TestE13AblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	table, err := runE13(Config{Seed: 9, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sortedPass, unsortedFail bool
+	for _, row := range table.Rows {
+		switch {
+		case row[1] == "sorted" && row[3] == "PASS":
+			sortedPass = true
+		case row[1] != "sorted" && row[3] == "FAIL":
+			unsortedFail = true
+		}
+	}
+	if !sortedPass {
+		t.Error("no sorted-order PASS row")
+	}
+	if !unsortedFail {
+		t.Error("no unsorted-order FAIL row — the ablation shows nothing")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	exps := All()
+	if len(exps) != 14 {
+		t.Errorf("registry has %d experiments, want 14", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E7"); !ok {
+		t.Error("ByID(E7) not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found a ghost")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Claim:  "c",
+		Header: []string{"a", "longcol"},
+		Notes:  []string{"n1"},
+	}
+	tbl.AddRow("1", "2")
+	out := tbl.Format()
+	for _, want := range []string{"== T: demo ==", "claim: c", "longcol", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

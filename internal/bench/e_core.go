@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"ftspanner/internal/core"
+	"ftspanner/internal/dk11"
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/spanner"
+	"ftspanner/internal/verify"
+)
+
+// runE1 — Table 1: spanner size as n grows, normalized by the Theorem 8
+// bound k·f^(1-1/k)·n^(1+1/k). The normalized ratio must stay bounded
+// (roughly constant) as n doubles.
+func runE1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Size vs n (modified greedy)",
+		Claim:  "|E(H)| = O(k f^(1-1/k) n^(1+1/k))  [Theorem 8]",
+		Header: []string{"n", "m", "k", "f", "|H|", "bound", "|H|/bound"},
+	}
+	ns := []int{64, 128, 256, 512}
+	if cfg.Quick {
+		ns = []int{64, 128}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range ns {
+		g, err := gnpDegree(rng, n, n/4)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{2, 3} {
+			for _, f := range []int{1, 2, 4} {
+				h, _, err := core.ModifiedGreedy(g, k, f, lbc.Vertex)
+				if err != nil {
+					return nil, err
+				}
+				bound := core.SizeBound(n, k, f)
+				t.AddRow(itoa(n), itoa(g.M()), itoa(k), itoa(f),
+					itoa(h.M()), ftoa1(bound), ftoa(float64(h.M())/bound))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"G(n,p) with average degree n/4; ratio stays bounded (and typically falls) as n doubles")
+	return t, nil
+}
+
+// runE2 — Table 2: spanner size as f grows at fixed n. The size must grow
+// sublinearly, tracking f^(1-1/k).
+func runE2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Size vs f (modified greedy)",
+		Claim:  "size grows as f^(1-1/k): doubling f multiplies size by at most 2^(1-1/k)  [Theorem 8]",
+		Header: []string{"k", "f", "|H|", "|H|/f^(1-1/k)", "growth vs prev f"},
+	}
+	n := 256
+	fs := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		n = 128
+		fs = []int{1, 2, 4}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	g, err := gnpDegree(rng, n, n/4)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{2, 3} {
+		prev := 0
+		for _, f := range fs {
+			h, _, err := core.ModifiedGreedy(g, k, f, lbc.Vertex)
+			if err != nil {
+				return nil, err
+			}
+			norm := float64(h.M()) / math.Pow(float64(f), 1-1/float64(k))
+			growth := "-"
+			if prev > 0 {
+				growth = ftoa(float64(h.M()) / float64(prev))
+			}
+			t.AddRow(itoa(k), itoa(f), itoa(h.M()), ftoa1(norm), growth)
+			prev = h.M()
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("G(%d, deg %d); growth factor per f-doubling should stay below 2 (sublinear), capped by saturation at m", n, n/4))
+	return t, nil
+}
+
+// runE3 — Table 3: the paper's headline tradeoff. The polynomial modified
+// greedy loses at most a factor O(k) in size against the exponential-time
+// optimal greedy it replaces.
+func runE3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Modified greedy vs exponential greedy",
+		Claim:  "modified greedy size <= O(k) x exact greedy size; both valid f-VFT (2k-1)-spanners  [Theorem 2]",
+		Header: []string{"n", "k", "f", "|exact|", "|modified|", "ratio", "fault sets tried (exact)", "both valid"},
+	}
+	ns := []int{16, 24, 32}
+	if cfg.Quick {
+		ns = []int{16}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	for _, n := range ns {
+		g, err := gen.GNP(rng, n, 0.4)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{2, 3} {
+			for _, f := range []int{1, 2} {
+				exact, estats, err := core.ExactGreedy(g, k, f, lbc.Vertex)
+				if err != nil {
+					return nil, err
+				}
+				approx, _, err := core.ModifiedGreedy(g, k, f, lbc.Vertex)
+				if err != nil {
+					return nil, err
+				}
+				stretch := float64(core.Stretch(k))
+				repE, err := verify.Exhaustive(g, exact, stretch, f, lbc.Vertex)
+				if err != nil {
+					return nil, err
+				}
+				repA, err := verify.Exhaustive(g, approx, stretch, f, lbc.Vertex)
+				if err != nil {
+					return nil, err
+				}
+				ratio := float64(approx.M()) / float64(exact.M())
+				t.AddRow(itoa(n), itoa(k), itoa(f), itoa(exact.M()), itoa(approx.M()),
+					ftoa(ratio), i64toa(estats.FaultSetsTried), btoa(repE.OK && repA.OK))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"exact greedy enumerates C(n-2,f) fault sets per edge — the exponential cost Theorem 2 removes")
+	return t, nil
+}
+
+// runE6 — Figure 1: construction time versus m at fixed n, k, f. Theorem 9
+// predicts time O(m·k·f^(2-1/k)·n^(1+1/k)); at fixed (n,k,f) that is linear
+// in m, so time/m should be flat.
+func runE6(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Construction time vs m (figure: series time(m))",
+		Claim:  "time = O(m k f^(2-1/k) n^(1+1/k)): linear in m at fixed n,k,f  [Theorem 9]",
+		Header: []string{"n", "m", "k", "f", "time", "us/edge", "BFS passes"},
+	}
+	n := 256
+	ms := []int{2048, 4096, 8192, 12288}
+	if cfg.Quick {
+		n = 128
+		ms = []int{1024, 2048}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 6))
+	for _, m := range ms {
+		g, err := gen.GNM(rng, n, m)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		_, stats, err := core.ModifiedGreedy(g, 2, 2, lbc.Vertex)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		t.AddRow(itoa(n), itoa(m), "2", "2",
+			elapsed.Round(time.Millisecond).String(),
+			ftoa(float64(elapsed.Microseconds())/float64(m)),
+			itoa(stats.BFSPasses))
+	}
+	t.Notes = append(t.Notes, "us/edge should be roughly flat across the m sweep")
+	return t, nil
+}
+
+// runE7 — Table 6: the prior polynomial-time baseline (Dinitz-Krauthgamer
+// 2011) against the paper's modified greedy. DK11 carries the extra
+// f·log n / k factor, so the modified greedy should win at every f, and the
+// gap should widen with f.
+func runE7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "DK11 reduction vs modified greedy",
+		Claim:  "DK11 size O(f^(2-1/k) n^(1+1/k) log n) vs greedy O(k f^(1-1/k) n^(1+1/k)): greedy sparser, gap grows with f  [Theorems 13 vs 2]",
+		Header: []string{"n", "f", "|greedy|", "|dk11|", "dk11/greedy", "dk11 iters", "both sampled-valid"},
+	}
+	n := 256
+	if cfg.Quick {
+		n = 96
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	g, err := gnpDegree(rng, n, n/4)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range []int{1, 2, 4} {
+		h, _, err := core.ModifiedGreedy(g, 2, f, lbc.Vertex)
+		if err != nil {
+			return nil, err
+		}
+		iters := dk11.DefaultIterations(n, f)
+		dkH, err := dk11.Construct(rng, g, f, iters, func(r *rand.Rand, sub *graph.Graph) (*graph.Graph, error) {
+			return spanner.Greedy(sub, 2)
+		})
+		if err != nil {
+			return nil, err
+		}
+		repG, err := verify.Sampled(g, h, 3, f, lbc.Vertex, rng, 40)
+		if err != nil {
+			return nil, err
+		}
+		repD, err := verify.Sampled(g, dkH, 3, f, lbc.Vertex, rng, 40)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(n), itoa(f), itoa(h.M()), itoa(dkH.M()),
+			ftoa(float64(dkH.M())/float64(h.M())), itoa(iters), btoa(repG.OK && repD.OK))
+	}
+	t.Notes = append(t.Notes, "k = 2 throughout; DK11 with canonical ceil(f^3 ln n) iterations over the classic greedy")
+	return t, nil
+}
+
+// runE11 — Figure 2: edge-fault-tolerant vs vertex-fault-tolerant sizes.
+// The paper's upper-bound machinery is identical for both; the open problem
+// (Section 6) is whether EFT can be sparser. Measured: EFT <= VFT size.
+func runE11(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "EFT vs VFT size (figure: series size(f) per mode)",
+		Claim:  "same O(k f^(1-1/k) n^(1+1/k)) upper bound; EFT lower bound is weaker (open problem, Section 6)",
+		Header: []string{"f", "|VFT|", "|EFT|", "EFT/VFT"},
+	}
+	n := 256
+	fs := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		n = 96
+		fs = []int{1, 2}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	g, err := gnpDegree(rng, n, n/4)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fs {
+		vft, _, err := core.ModifiedGreedy(g, 2, f, lbc.Vertex)
+		if err != nil {
+			return nil, err
+		}
+		eft, _, err := core.ModifiedGreedy(g, 2, f, lbc.Edge)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(f), itoa(vft.M()), itoa(eft.M()),
+			ftoa(float64(eft.M())/float64(vft.M())))
+	}
+	t.Notes = append(t.Notes, "k = 2; a ratio below 1 is consistent with the conjectured f^((1-1/k)/2) EFT bound")
+	return t, nil
+}

@@ -1,0 +1,103 @@
+// Package combin provides the subset-enumeration helpers used by the
+// exponential-time exact algorithms (Algorithm 1's fault-set search, the
+// exact Length-Bounded Cut oracle) and by the exhaustive spanner verifier.
+package combin
+
+import "math/rand"
+
+// ForEach enumerates all k-element subsets of {0, ..., n-1} in lexicographic
+// order, invoking fn with the current subset. The slice passed to fn is
+// reused between calls and must not be retained. If fn returns true the
+// enumeration stops early and ForEach returns true.
+func ForEach(n, k int, fn func([]int) bool) bool {
+	if k < 0 || k > n {
+		return false
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if fn(idx) {
+			return true
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return false
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// ForEachUpTo enumerates all subsets of {0, ..., n-1} of size 0 through
+// maxK inclusive, smallest sizes first. Early-stop semantics as ForEach.
+func ForEachUpTo(n, maxK int, fn func([]int) bool) bool {
+	if maxK > n {
+		maxK = n
+	}
+	for k := 0; k <= maxK; k++ {
+		if ForEach(n, k, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns C(n, k), saturating at the largest int64 rather than
+// overflowing. Count(n, k) = 0 for k < 0 or k > n.
+func Count(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	const maxInt64 = int64(^uint64(0) >> 1)
+	result := int64(1)
+	for i := 1; i <= k; i++ {
+		// result *= (n - k + i) / i, carefully: multiply first, checking overflow.
+		num := int64(n - k + i)
+		if result > maxInt64/num {
+			return maxInt64
+		}
+		result = result * num / int64(i)
+	}
+	return result
+}
+
+// RandomSubset returns a uniformly random k-element subset of {0, ..., n-1},
+// sorted ascending. It panics if k > n — callers size their sample from the
+// same n they pass.
+func RandomSubset(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		panic("combin: RandomSubset k > n")
+	}
+	// Floyd's algorithm: k iterations, O(k) space.
+	chosen := make(map[int]bool, k)
+	for i := n - k; i < n; i++ {
+		j := rng.Intn(i + 1)
+		if chosen[j] {
+			chosen[i] = true
+		} else {
+			chosen[j] = true
+		}
+	}
+	out := make([]int, 0, k)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	// Insertion sort: k is small in every caller.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

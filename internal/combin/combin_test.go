@@ -1,0 +1,144 @@
+package combin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func collect(n, k int) [][]int {
+	var out [][]int
+	ForEach(n, k, func(idx []int) bool {
+		cp := make([]int, len(idx))
+		copy(cp, idx)
+		out = append(out, cp)
+		return false
+	})
+	return out
+}
+
+func TestForEach(t *testing.T) {
+	got := collect(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEach(4,2) = %v, want %v", got, want)
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if got := collect(3, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("ForEach(3,0) = %v, want one empty subset", got)
+	}
+	if got := collect(3, 3); !reflect.DeepEqual(got, [][]int{{0, 1, 2}}) {
+		t.Errorf("ForEach(3,3) = %v", got)
+	}
+	if got := collect(3, 4); got != nil {
+		t.Errorf("ForEach(3,4) = %v, want none", got)
+	}
+	if got := collect(3, -1); got != nil {
+		t.Errorf("ForEach(3,-1) = %v, want none", got)
+	}
+	if got := collect(0, 0); len(got) != 1 {
+		t.Errorf("ForEach(0,0) = %v, want one empty subset", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	calls := 0
+	stopped := ForEach(5, 2, func(idx []int) bool {
+		calls++
+		return calls == 3
+	})
+	if !stopped || calls != 3 {
+		t.Errorf("early stop: stopped=%v calls=%d", stopped, calls)
+	}
+	if ForEach(3, 2, func([]int) bool { return false }) {
+		t.Error("ForEach reported stop without early exit")
+	}
+}
+
+func TestForEachUpTo(t *testing.T) {
+	var sizes []int
+	ForEachUpTo(3, 2, func(idx []int) bool {
+		sizes = append(sizes, len(idx))
+		return false
+	})
+	// 1 empty + 3 singletons + 3 pairs.
+	want := []int{0, 1, 1, 1, 2, 2, 2}
+	if !reflect.DeepEqual(sizes, want) {
+		t.Errorf("subset sizes = %v, want %v", sizes, want)
+	}
+	// maxK beyond n is clamped.
+	count := 0
+	ForEachUpTo(3, 10, func([]int) bool { count++; return false })
+	if count != 8 {
+		t.Errorf("ForEachUpTo(3,10) visited %d subsets, want 8", count)
+	}
+}
+
+func TestCount(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {5, 3, 10},
+		{10, 4, 210}, {52, 5, 2598960}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, tc := range tests {
+		if got := Count(tc.n, tc.k); got != tc.want {
+			t.Errorf("Count(%d,%d) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+	// Saturation, not overflow.
+	if got := Count(200, 100); got <= 0 {
+		t.Errorf("Count(200,100) = %d, want saturated positive", got)
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		s := RandomSubset(rng, 10, 4)
+		if len(s) != 4 {
+			t.Fatalf("subset size = %d, want 4", len(s))
+		}
+		for i := range s {
+			if s[i] < 0 || s[i] >= 10 {
+				t.Fatalf("element %d out of range", s[i])
+			}
+			if i > 0 && s[i] <= s[i-1] {
+				t.Fatalf("subset %v not sorted/distinct", s)
+			}
+		}
+	}
+	if got := RandomSubset(rng, 5, 0); len(got) != 0 {
+		t.Errorf("RandomSubset(5,0) = %v", got)
+	}
+	if got := RandomSubset(rng, 3, 3); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("RandomSubset(3,3) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RandomSubset(2,3) did not panic")
+		}
+	}()
+	RandomSubset(rng, 2, 3)
+}
+
+func TestRandomSubsetUniformish(t *testing.T) {
+	// Sanity: every element of {0..4} appears in roughly 2/5 of 2-subsets.
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 5)
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		for _, v := range RandomSubset(rng, 5, 2) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.3 || frac > 0.5 {
+			t.Errorf("element %d frequency %.3f, want ~0.4", v, frac)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/graph"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Errorf("Path(5) = %v, want n=5 m=4", g)
+	}
+	if !g.Connected() {
+		t.Error("path not connected")
+	}
+	if g.Girth() != -1 {
+		t.Error("path has a cycle")
+	}
+	if Path(0).N() != 0 || Path(1).M() != 0 {
+		t.Error("degenerate paths wrong")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle(6)
+	if err != nil {
+		t.Fatalf("Cycle(6): %v", err)
+	}
+	if g.M() != 6 || g.Girth() != 6 || g.MaxDegree() != 2 {
+		t.Errorf("Cycle(6): m=%d girth=%d maxdeg=%d", g.M(), g.Girth(), g.MaxDegree())
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("Cycle(2) accepted")
+	}
+}
+
+func TestStarAndComplete(t *testing.T) {
+	s := Star(6)
+	if s.M() != 5 || s.Degree(0) != 5 {
+		t.Errorf("Star(6): m=%d deg0=%d", s.M(), s.Degree(0))
+	}
+	k := Complete(6)
+	if k.M() != 15 || k.MaxDegree() != 5 {
+		t.Errorf("K6: m=%d maxdeg=%d", k.M(), k.MaxDegree())
+	}
+	b := CompleteBipartite(3, 4)
+	if b.N() != 7 || b.M() != 12 || b.Girth() != 4 {
+		t.Errorf("K(3,4): n=%d m=%d girth=%d", b.N(), b.M(), b.Girth())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	// 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+	if g.N() != 12 || g.M() != 17 {
+		t.Errorf("Grid(3,4) = %v, want n=12 m=17", g)
+	}
+	if !g.Connected() || g.Girth() != 4 {
+		t.Errorf("grid connected=%v girth=%d", g.Connected(), g.Girth())
+	}
+	if _, err := Grid(0, 5); err == nil {
+		t.Error("Grid(0,5) accepted")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g, err := Torus(4, 5)
+	if err != nil {
+		t.Fatalf("Torus: %v", err)
+	}
+	if g.N() != 20 || g.M() != 40 {
+		t.Errorf("Torus(4,5) = %v, want n=20 m=40 (4-regular)", g)
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("torus vertex %d has degree %d, want 4", u, g.Degree(u))
+		}
+	}
+	if _, err := Torus(2, 5); err == nil {
+		t.Error("Torus(2,5) accepted")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatalf("Hypercube: %v", err)
+	}
+	if g.N() != 16 || g.M() != 32 {
+		t.Errorf("Q4 = %v, want n=16 m=32", g)
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("hypercube vertex %d has degree %d, want 4", u, g.Degree(u))
+		}
+	}
+	if g.Girth() != 4 {
+		t.Errorf("Q4 girth = %d, want 4", g.Girth())
+	}
+	if _, err := Hypercube(-1); err == nil {
+		t.Error("Hypercube(-1) accepted")
+	}
+	q0, err := Hypercube(0)
+	if err != nil || q0.N() != 1 {
+		t.Errorf("Q0 = %v, %v", q0, err)
+	}
+}
+
+func TestGNP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := GNP(rng, 200, 0.1)
+	if err != nil {
+		t.Fatalf("GNP: %v", err)
+	}
+	if g.N() != 200 {
+		t.Errorf("GNP n = %d", g.N())
+	}
+	// Expected m = 0.1 * C(200,2) = 1990. Allow generous slack (±25%).
+	if g.M() < 1500 || g.M() > 2500 {
+		t.Errorf("GNP(200, 0.1) m = %d, expected around 1990", g.M())
+	}
+	if g0, _ := GNP(rng, 50, 0); g0.M() != 0 {
+		t.Error("GNP(p=0) has edges")
+	}
+	if g1, _ := GNP(rng, 10, 1); g1.M() != 45 {
+		t.Errorf("GNP(p=1) m = %d, want 45", g1.M())
+	}
+	if _, err := GNP(rng, -1, 0.5); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := GNP(rng, 5, 1.5); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	a, _ := GNP(rand.New(rand.NewSource(42)), 100, 0.05)
+	b, _ := GNP(rand.New(rand.NewSource(42)), 100, 0.05)
+	if !a.IsSubgraphOf(b) || !b.IsSubgraphOf(a) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestPairFromIndex(t *testing.T) {
+	n := 5
+	wantPairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}
+	for i, want := range wantPairs {
+		u, v := pairFromIndex(int64(i), n)
+		if u != want[0] || v != want[1] {
+			t.Errorf("pairFromIndex(%d) = (%d,%d), want %v", i, u, v, want)
+		}
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []int{0, 10, 100, 1225} { // 1225 = C(50,2): complete
+		g, err := GNM(rng, 50, m)
+		if err != nil {
+			t.Fatalf("GNM(50,%d): %v", m, err)
+		}
+		if g.M() != m {
+			t.Errorf("GNM(50,%d) produced %d edges", m, g.M())
+		}
+	}
+	if _, err := GNM(rng, 5, 11); err == nil {
+		t.Error("GNM with too many edges accepted")
+	}
+	if _, err := GNM(rng, -1, 0); err == nil {
+		t.Error("GNM with negative n accepted")
+	}
+}
+
+func TestGNPConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := GNPConnected(rng, 100, 0.08, 50)
+	if err != nil {
+		t.Fatalf("GNPConnected: %v", err)
+	}
+	if !g.Connected() {
+		t.Error("GNPConnected returned a disconnected graph")
+	}
+	if _, err := GNPConnected(rng, 100, 0.001, 3); err == nil {
+		t.Error("expected failure for hopeless p")
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, pts, err := Geometric(rng, 300, 0.12, true)
+	if err != nil {
+		t.Fatalf("Geometric: %v", err)
+	}
+	if len(pts) != 300 || g.N() != 300 {
+		t.Fatalf("geometric sizes wrong: %d points, n=%d", len(pts), g.N())
+	}
+	if !g.Weighted() {
+		t.Error("weighted geometric graph is unweighted")
+	}
+	// Every edge weight must equal the Euclidean distance and be <= radius.
+	for _, e := range g.Edges() {
+		d := pts[e.U].Dist(pts[e.V])
+		if e.W != d {
+			t.Fatalf("edge {%d,%d} weight %v != distance %v", e.U, e.V, e.W, d)
+		}
+		if d > 0.12 {
+			t.Fatalf("edge {%d,%d} distance %v exceeds radius", e.U, e.V, d)
+		}
+	}
+	// Cross-check the bucketed edge set against the brute-force O(n²) scan.
+	brute := 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) <= 0.12 {
+				brute++
+			}
+		}
+	}
+	if g.M() != brute {
+		t.Errorf("bucketed geometric found %d edges, brute force %d", g.M(), brute)
+	}
+	if _, _, err := Geometric(rng, -1, 0.1, false); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, _, err := Geometric(rng, 5, -0.1, false); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := BarabasiAlbert(rng, 200, 3)
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	if g.N() != 200 {
+		t.Errorf("BA n = %d", g.N())
+	}
+	// Seed clique C(4,2)=6 edges + 196 new vertices * 3 edges = 594.
+	if g.M() != 594 {
+		t.Errorf("BA m = %d, want 594", g.M())
+	}
+	if !g.Connected() {
+		t.Error("BA graph disconnected")
+	}
+	if _, err := BarabasiAlbert(rng, 3, 3); err == nil {
+		t.Error("BA with n <= attach accepted")
+	}
+	if _, err := BarabasiAlbert(rng, 10, 0); err == nil {
+		t.Error("BA with attach=0 accepted")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := RandomRegular(rng, 50, 4)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", u, g.Degree(u))
+		}
+	}
+	if _, err := RandomRegular(rng, 5, 3); err == nil {
+		t.Error("odd n*d accepted")
+	}
+	if _, err := RandomRegular(rng, 5, 5); err == nil {
+		t.Error("d >= n accepted")
+	}
+	g0, err := RandomRegular(rng, 5, 0)
+	if err != nil || g0.M() != 0 {
+		t.Errorf("0-regular: %v, %v", g0, err)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := WattsStrogatz(rng, 100, 3, 0.1)
+	if err != nil {
+		t.Fatalf("WattsStrogatz: %v", err)
+	}
+	if g.N() != 100 {
+		t.Errorf("WS n = %d", g.N())
+	}
+	// Ring lattice has n*k edges; rewiring can only drop a few on collision.
+	if g.M() < 290 || g.M() > 300 {
+		t.Errorf("WS m = %d, want about 300", g.M())
+	}
+	if _, err := WattsStrogatz(rng, 10, 5, 0.1); err == nil {
+		t.Error("2k >= n accepted")
+	}
+	if _, err := WattsStrogatz(rng, 10, 2, 1.5); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+	// beta=0 must be the exact ring lattice.
+	lattice, err := WattsStrogatz(rng, 20, 2, 0)
+	if err != nil {
+		t.Fatalf("WS beta=0: %v", err)
+	}
+	if lattice.M() != 40 {
+		t.Errorf("ring lattice m = %d, want 40", lattice.M())
+	}
+	for u := 0; u < 20; u++ {
+		if lattice.Degree(u) != 4 {
+			t.Fatalf("lattice vertex %d degree %d, want 4", u, lattice.Degree(u))
+		}
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := RandomTree(rng, 64)
+	if g.M() != 63 || !g.Connected() || g.Girth() != -1 {
+		t.Errorf("random tree: m=%d connected=%v girth=%d", g.M(), g.Connected(), g.Girth())
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := Complete(10)
+	w, err := UniformWeights(rng, base, 1, 5)
+	if err != nil {
+		t.Fatalf("UniformWeights: %v", err)
+	}
+	if !w.Weighted() || w.M() != base.M() {
+		t.Fatalf("weighted copy wrong shape: %v", w)
+	}
+	for i := 0; i < w.M(); i++ {
+		if wt := w.Weight(i); wt < 1 || wt >= 5 {
+			t.Fatalf("weight %v out of [1,5)", wt)
+		}
+		// Edge IDs and endpoints preserved.
+		if w.Edge(i).U != base.Edge(i).U || w.Edge(i).V != base.Edge(i).V {
+			t.Fatalf("edge %d endpoints changed", i)
+		}
+	}
+	if _, err := UniformWeights(rng, base, 5, 1); err == nil {
+		t.Error("hi < lo accepted")
+	}
+	if _, err := UniformWeights(rng, base, -1, 1); err == nil {
+		t.Error("negative lo accepted")
+	}
+	fixed, err := UniformWeights(rng, base, 2, 2)
+	if err != nil {
+		t.Fatalf("degenerate range: %v", err)
+	}
+	if fixed.Weight(0) != 2 {
+		t.Errorf("degenerate range weight = %v, want 2", fixed.Weight(0))
+	}
+}
+
+func TestUnitWeightsAndUnweighted(t *testing.T) {
+	base := Complete(5)
+	w := UnitWeights(base)
+	if !w.Weighted() || w.M() != 10 || w.Weight(3) != 1 {
+		t.Errorf("UnitWeights wrong: %v", w)
+	}
+	back := Unweighted(w)
+	if back.Weighted() || back.M() != 10 {
+		t.Errorf("Unweighted wrong: %v", back)
+	}
+}
+
+func TestAdversarialWeights(t *testing.T) {
+	base := Path(5)
+	w := AdversarialWeights(base)
+	if !w.Weighted() {
+		t.Fatal("AdversarialWeights returned unweighted graph")
+	}
+	for i := 1; i < w.M(); i++ {
+		if w.Weight(i) >= w.Weight(i-1) {
+			t.Fatalf("weights not strictly decreasing with edge ID: w[%d]=%v w[%d]=%v",
+				i-1, w.Weight(i-1), i, w.Weight(i))
+		}
+	}
+}
+
+// Compile-time check that generators return the shared graph type.
+var _ *graph.Graph = Path(1)

@@ -1,0 +1,319 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftspanner/internal/graph"
+)
+
+// GNP returns an Erdős–Rényi random graph G(n, p): each of the C(n,2)
+// possible edges is present independently with probability p.
+//
+// Edge enumeration uses geometric skip sampling, so the running time is
+// O(n + expected edges) rather than O(n²) for sparse p.
+func GNP(rng *rand.Rand, n int, p float64) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gen: GNP needs n >= 0, got %d", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("gen: GNP needs p in [0,1], got %v", p)
+	}
+	g := graph.New(n)
+	if p == 0 || n < 2 {
+		return g, nil
+	}
+	if p == 1 {
+		return Complete(n), nil
+	}
+	// Walk pair indices 0..C(n,2)-1 in lexicographic order, skipping ahead by
+	// Geometric(p) each step (Batagelj–Brandes).
+	logq := math.Log1p(-p)
+	total := int64(n) * int64(n-1) / 2
+	idx := int64(-1)
+	for {
+		skip := int64(math.Floor(math.Log(1-rng.Float64()) / logq))
+		idx += 1 + skip
+		if idx >= total {
+			break
+		}
+		u, v := pairFromIndex(idx, n)
+		g.MustAddEdge(u, v)
+	}
+	return g, nil
+}
+
+// pairFromIndex maps a lexicographic pair index to the pair (u, v), u < v,
+// where index 0 is (0,1), 1 is (0,2), ..., n-2 is (0,n-1), n-1 is (1,2), etc.
+func pairFromIndex(idx int64, n int) (int, int) {
+	// Row u holds (n-1-u) pairs. Find u by walking rows; the loop runs at
+	// most n times total across all calls in GNP because idx increases.
+	// For standalone calls a linear walk is still O(n), which is fine.
+	u := 0
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + int(idx)
+}
+
+// GNM returns a uniform random graph with exactly n vertices and m edges.
+func GNM(rng *rand.Rand, n, m int) (*graph.Graph, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("gen: GNM needs n, m >= 0, got n=%d m=%d", n, m)
+	}
+	maxM := int64(n) * int64(n-1) / 2
+	if int64(m) > maxM {
+		return nil, fmt.Errorf("gen: GNM with m=%d exceeds C(%d,2)=%d", m, n, maxM)
+	}
+	g := graph.New(n)
+	if m == 0 {
+		return g, nil
+	}
+	// Dense request: sample by shuffling all pairs. Sparse: rejection-sample.
+	if int64(m)*3 >= maxM {
+		pairs := make([][2]int, 0, maxM)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		for _, p := range pairs[:m] {
+			g.MustAddEdge(p[0], p[1])
+		}
+		return g, nil
+	}
+	seen := make(map[int64]bool, m)
+	for g.M() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.MustAddEdge(u, v)
+	}
+	return g, nil
+}
+
+// GNPConnected returns G(n, p) conditioned on connectivity by resampling up
+// to maxTries times. It returns an error if no connected sample was found,
+// which signals that p is too small for n rather than bad luck.
+func GNPConnected(rng *rand.Rand, n int, p float64, maxTries int) (*graph.Graph, error) {
+	for try := 0; try < maxTries; try++ {
+		g, err := GNP(rng, n, p)
+		if err != nil {
+			return nil, err
+		}
+		if g.Connected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: no connected G(%d, %v) found in %d tries", n, p, maxTries)
+}
+
+// Point is a point in the unit square, used by the geometric generator.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Geometric returns a random geometric graph: n points uniform in the unit
+// square, with an edge between points at Euclidean distance <= radius.
+// If weighted, edge weights are the Euclidean distances — the classical
+// geometric-spanner setting from which fault-tolerant spanners originate
+// (Levcopoulos–Narasimhan–Smid). The point coordinates are returned so
+// callers can visualize or re-weight.
+func Geometric(rng *rand.Rand, n int, radius float64, weighted bool) (*graph.Graph, []Point, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("gen: geometric needs n >= 0, got %d", n)
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		return nil, nil, fmt.Errorf("gen: geometric needs radius >= 0, got %v", radius)
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	var g *graph.Graph
+	if weighted {
+		g = graph.NewWeighted(n)
+	} else {
+		g = graph.New(n)
+	}
+	// Grid-bucket the points so neighbor search is O(n) in expectation
+	// instead of O(n²) for small radii.
+	cell := radius
+	if cell <= 0 || cell > 1 {
+		cell = 1
+	}
+	cols := int(1/cell) + 1
+	buckets := make(map[int][]int)
+	key := func(p Point) int {
+		return int(p.Y/cell)*cols + int(p.X/cell)
+	}
+	for i, p := range pts {
+		buckets[key(p)] = append(buckets[key(p)], i)
+	}
+	for i, p := range pts {
+		cx, cy := int(p.X/cell), int(p.Y/cell)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				for _, j := range buckets[(cy+dy)*cols+(cx+dx)] {
+					if j <= i {
+						continue
+					}
+					d := p.Dist(pts[j])
+					if d <= radius {
+						if weighted {
+							g.MustAddEdgeW(i, j, d)
+						} else {
+							g.MustAddEdge(i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	return g, pts, nil
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// clique on m0 = attach vertices, each subsequent vertex attaches to `attach`
+// distinct existing vertices chosen with probability proportional to degree.
+func BarabasiAlbert(rng *rand.Rand, n, attach int) (*graph.Graph, error) {
+	if attach < 1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs attach >= 1, got %d", attach)
+	}
+	if n < attach+1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n >= attach+1 (%d), got %d", attach+1, n)
+	}
+	g := graph.New(n)
+	// Seed clique on vertices 0..attach.
+	for u := 0; u <= attach; u++ {
+		for v := u + 1; v <= attach; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	// repeated lists every edge endpoint; sampling uniformly from it samples
+	// vertices proportionally to degree.
+	var repeated []int
+	for u := 0; u <= attach; u++ {
+		for i := 0; i < attach; i++ {
+			repeated = append(repeated, u)
+		}
+	}
+	chosen := make(map[int]bool, attach)
+	for v := attach + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		for len(chosen) < attach {
+			chosen[repeated[rng.Intn(len(repeated))]] = true
+		}
+		for u := range chosen {
+			g.MustAddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	return g, nil
+}
+
+// RandomRegular returns a uniform-ish random d-regular graph on n vertices
+// via the configuration model with rejection: it pairs up d stubs per vertex
+// and retries whole samples that contain self-loops or parallel edges. n*d
+// must be even and d < n.
+func RandomRegular(rng *rand.Rand, n, d int) (*graph.Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("gen: RandomRegular needs 0 <= d < n, got n=%d d=%d", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: RandomRegular needs n*d even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return graph.New(n), nil
+	}
+	const maxTries = 1000
+	stubs := make([]int, 0, n*d)
+	for try := 0; try < maxTries; try++ {
+		stubs = stubs[:0]
+		for u := 0; u < n; u++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, u)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		g := graph.New(n)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.MustAddEdge(u, v)
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: RandomRegular(n=%d, d=%d) failed to produce a simple graph in %d tries", n, d, maxTries)
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice on n vertices
+// where each vertex connects to its k nearest neighbors on each side, with
+// each lattice edge rewired to a uniform random endpoint with probability
+// beta (skipping rewires that would create loops or duplicates).
+func WattsStrogatz(rng *rand.Rand, n, k int, beta float64) (*graph.Graph, error) {
+	if k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs 1 <= k and 2k < n, got n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 || math.IsNaN(beta) {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs beta in [0,1], got %v", beta)
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if rng.Float64() < beta {
+				// Rewire the far endpoint to a uniform random vertex.
+				for tries := 0; tries < 32; tries++ {
+					w := rng.Intn(n)
+					if w != u && !g.HasEdge(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomTree returns a uniformly random recursive tree: vertex i >= 1
+// attaches to a uniform random vertex in [0, i).
+func RandomTree(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v)
+	}
+	return g
+}

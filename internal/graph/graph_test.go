@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 {
+		t.Errorf("N() = %d, want 5", g.N())
+	}
+	if g.M() != 0 {
+		t.Errorf("M() = %d, want 0", g.M())
+	}
+	if g.Weighted() {
+		t.Error("New() returned a weighted graph")
+	}
+	if got := NewWeighted(3); !got.Weighted() {
+		t.Error("NewWeighted() returned an unweighted graph")
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(4)
+	id, err := g.AddEdge(2, 1)
+	if err != nil {
+		t.Fatalf("AddEdge(2,1): %v", err)
+	}
+	if id != 0 {
+		t.Errorf("first edge ID = %d, want 0", id)
+	}
+	e := g.Edge(id)
+	if e.U != 1 || e.V != 2 {
+		t.Errorf("edge endpoints = {%d,%d}, want normalized {1,2}", e.U, e.V)
+	}
+	if e.W != 1 {
+		t.Errorf("unweighted edge weight = %v, want 1", e.W)
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("HasEdge should be symmetric and true")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("HasEdge(0,3) = true for absent edge")
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 1 || g.Degree(0) != 0 {
+		t.Errorf("degrees = %d,%d,%d want 1,1,0", g.Degree(1), g.Degree(2), g.Degree(0))
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	tests := []struct {
+		name     string
+		weighted bool
+		u, v     int
+		w        float64
+	}{
+		{"out of range low", false, -1, 2, 1},
+		{"out of range high", false, 0, 4, 1},
+		{"self loop", false, 1, 1, 1},
+		{"negative weight", true, 0, 1, -2},
+		{"NaN weight", true, 0, 1, math.NaN()},
+		{"Inf weight", true, 0, 1, math.Inf(1)},
+		{"non-unit weight on unweighted", false, 0, 1, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var g *Graph
+			if tc.weighted {
+				g = NewWeighted(4)
+			} else {
+				g = New(4)
+			}
+			if _, err := g.AddEdgeW(tc.u, tc.v, tc.w); err == nil {
+				t.Errorf("AddEdgeW(%d,%d,%v) succeeded, want error", tc.u, tc.v, tc.w)
+			}
+			if g.M() != 0 {
+				t.Errorf("failed AddEdgeW mutated the graph: M() = %d", g.M())
+			}
+		})
+	}
+}
+
+func TestDuplicateEdgeRejected(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge (reversed) accepted")
+	}
+	if _, err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 3, V: 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Errorf("Other: got %d,%d want 7,3", e.Other(3), e.Other(7))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other(non-endpoint) did not panic")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := New(5)
+	id01 := g.MustAddEdge(0, 1)
+	id12 := g.MustAddEdge(1, 2)
+	if got, ok := g.EdgeBetween(2, 1); !ok || got != id12 {
+		t.Errorf("EdgeBetween(2,1) = %d,%v want %d,true", got, ok, id12)
+	}
+	if got, ok := g.EdgeBetween(0, 1); !ok || got != id01 {
+		t.Errorf("EdgeBetween(0,1) = %d,%v want %d,true", got, ok, id01)
+	}
+	if _, ok := g.EdgeBetween(0, 4); ok {
+		t.Error("EdgeBetween(0,4) found an absent edge")
+	}
+	if _, ok := g.EdgeBetween(-1, 99); ok {
+		t.Error("EdgeBetween out-of-range did not return false")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewWeighted(3)
+	g.MustAddEdgeW(0, 1, 2.5)
+	c := g.Clone()
+	c.MustAddEdgeW(1, 2, 1.0)
+	if g.M() != 1 {
+		t.Errorf("mutating clone changed original: M() = %d", g.M())
+	}
+	if c.M() != 2 {
+		t.Errorf("clone M() = %d, want 2", c.M())
+	}
+	if !g.IsSubgraphOf(c) {
+		t.Error("original should be subgraph of extended clone")
+	}
+	if c.IsSubgraphOf(g) {
+		t.Error("extended clone should not be subgraph of original")
+	}
+}
+
+func TestEmptyLike(t *testing.T) {
+	g := NewWeighted(7)
+	g.MustAddEdgeW(0, 1, 3)
+	h := g.EmptyLike()
+	if h.N() != 7 || h.M() != 0 || !h.Weighted() {
+		t.Errorf("EmptyLike = %v, want weighted n=7 m=0", h)
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	v := g.AddVertex()
+	if v != 2 || g.N() != 3 {
+		t.Errorf("AddVertex = %d (n=%d), want 2 (n=3)", v, g.N())
+	}
+	if _, err := g.AddEdge(0, v); err != nil {
+		t.Errorf("AddEdge to new vertex: %v", err)
+	}
+}
+
+func TestEdgeIDsByWeight(t *testing.T) {
+	g := NewWeighted(4)
+	g.MustAddEdgeW(0, 1, 3) // id 0
+	g.MustAddEdgeW(1, 2, 1) // id 1
+	g.MustAddEdgeW(2, 3, 2) // id 2
+	g.MustAddEdgeW(0, 3, 1) // id 3 (ties with id 1; stable order keeps 1 first)
+	got := g.EdgeIDsByWeight()
+	want := []int{1, 3, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EdgeIDsByWeight = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgesReturnsCopy(t *testing.T) {
+	g := NewWeighted(3)
+	g.MustAddEdgeW(0, 1, 5)
+	edges := g.Edges()
+	edges[0].W = 99
+	if g.Edge(0).W != 5 {
+		t.Error("mutating Edges() result changed the graph")
+	}
+}
+
+func TestTotalWeightAndMaxDegree(t *testing.T) {
+	g := NewWeighted(4)
+	g.MustAddEdgeW(0, 1, 1.5)
+	g.MustAddEdgeW(0, 2, 2.5)
+	g.MustAddEdgeW(0, 3, 3.0)
+	if got := g.TotalWeight(); got != 7.0 {
+		t.Errorf("TotalWeight = %v, want 7", got)
+	}
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+	if got := New(0).MaxDegree(); got != 0 {
+		t.Errorf("MaxDegree(empty) = %d, want 0", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	if got := g.String(); got != "graph(n=2, m=1, unweighted)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := NewWeighted(1).String(); got != "graph(n=1, m=0, weighted)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// path returns the path graph on n vertices: 0-1-2-...-(n-1).
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// cycle returns the cycle graph on n vertices.
+func cycle(n int) *Graph {
+	g := path(n)
+	g.MustAddEdge(n-1, 0)
+	return g
+}
+
+// complete returns the complete graph on n vertices.
+func complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is a line-oriented text format:
+//
+//	# comments and blank lines are ignored
+//	graph <n> <m> <weighted|unweighted>
+//	<u> <v>          (unweighted edge line)
+//	<u> <v> <w>      (weighted edge line)
+//
+// Exactly m edge lines must follow the header. The format is deliberately
+// trivial: it round-trips through version control diffs, is easy to generate
+// from other tools, and imposes no dependency.
+
+// Write encodes g to w in the text format above.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "unweighted"
+	if g.Weighted() {
+		kind = "weighted"
+	}
+	if _, err := fmt.Fprintf(bw, "graph %d %d %s\n", g.N(), g.M(), kind); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	for _, e := range g.edges {
+		var err error
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%d %d %s\n", e.U, e.V, strconv.FormatFloat(e.W, 'g', -1, 64))
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		}
+		if err != nil {
+			return fmt.Errorf("graph: write edge {%d,%d}: %w", e.U, e.V, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a graph from r in the text format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	line, lineNo, err := nextContentLine(sc, 0)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "graph" {
+		return nil, fmt.Errorf("graph: line %d: malformed header %q", lineNo, line)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[1])
+	}
+	m, err := strconv.Atoi(fields[2])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("graph: line %d: bad edge count %q", lineNo, fields[2])
+	}
+	var g *Graph
+	switch fields[3] {
+	case "weighted":
+		g = NewWeighted(n)
+	case "unweighted":
+		g = New(n)
+	default:
+		return nil, fmt.Errorf("graph: line %d: bad kind %q (want weighted or unweighted)", lineNo, fields[3])
+	}
+
+	for i := 0; i < m; i++ {
+		line, lineNo, err = nextContentLine(sc, lineNo)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d of %d: %w", i+1, m, err)
+		}
+		fields = strings.Fields(line)
+		wantFields := 2
+		if g.Weighted() {
+			wantFields = 3
+		}
+		if len(fields) != wantFields {
+			return nil, fmt.Errorf("graph: line %d: edge line %q has %d fields, want %d", lineNo, line, len(fields), wantFields)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[1])
+		}
+		w := 1.0
+		if g.Weighted() {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+			}
+		}
+		if _, err := g.AddEdgeW(u, v, w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+	}
+	if line, lineNo, err = nextContentLine(sc, lineNo); err == nil {
+		return nil, fmt.Errorf("graph: line %d: unexpected trailing content %q", lineNo, line)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("graph: trailing read: %w", err)
+	}
+	return g, nil
+}
+
+// nextContentLine advances to the next non-blank, non-comment line and
+// returns it together with its 1-based line number. It returns io.EOF when
+// the input is exhausted.
+func nextContentLine(sc *bufio.Scanner, lineNo int) (string, int, error) {
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, lineNo, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", lineNo, err
+	}
+	return "", lineNo, io.EOF
+}

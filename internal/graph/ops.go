@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InducedSubgraph returns the subgraph of g induced by the given vertices,
+// together with the mapping from new vertex IDs to original IDs
+// (toOrig[newID] = origID). Vertices may be listed in any order; duplicates
+// are an error. Edge weights are preserved.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
+	toNew := make(map[int]int, len(vertices))
+	toOrig := make([]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: induced subgraph vertex %d out of range [0,%d)", v, g.N())
+		}
+		if _, dup := toNew[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced subgraph", v)
+		}
+		toNew[v] = i
+		toOrig[i] = v
+	}
+	var sub *Graph
+	if g.weighted {
+		sub = NewWeighted(len(vertices))
+	} else {
+		sub = New(len(vertices))
+	}
+	for _, e := range g.edges {
+		nu, okU := toNew[e.U]
+		nv, okV := toNew[e.V]
+		if okU && okV {
+			sub.MustAddEdgeW(nu, nv, e.W)
+		}
+	}
+	return sub, toOrig, nil
+}
+
+// Subgraph returns the subgraph of g containing all vertices but only the
+// edges whose IDs are listed. Duplicate IDs are an error.
+func (g *Graph) Subgraph(edgeIDs []int) (*Graph, error) {
+	sub := g.EmptyLike()
+	seen := make(map[int]bool, len(edgeIDs))
+	for _, id := range edgeIDs {
+		if id < 0 || id >= g.M() {
+			return nil, fmt.Errorf("graph: subgraph edge ID %d out of range [0,%d)", id, g.M())
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("graph: duplicate edge ID %d in subgraph", id)
+		}
+		seen[id] = true
+		e := g.edges[id]
+		sub.MustAddEdgeW(e.U, e.V, e.W)
+	}
+	return sub, nil
+}
+
+// Union returns a new graph on the same vertex set containing every edge that
+// appears in g or in h (by endpoint pair). When the same edge appears in
+// both, g's weight wins. It returns an error if the vertex counts or
+// weightedness differ.
+func (g *Graph) Union(h *Graph) (*Graph, error) {
+	if g.N() != h.N() {
+		return nil, fmt.Errorf("graph: union of graphs with different vertex counts %d and %d", g.N(), h.N())
+	}
+	if g.weighted != h.weighted {
+		return nil, fmt.Errorf("graph: union of weighted and unweighted graphs")
+	}
+	out := g.Clone()
+	for _, e := range h.edges {
+		if !out.HasEdge(e.U, e.V) {
+			out.MustAddEdgeW(e.U, e.V, e.W)
+		}
+	}
+	return out, nil
+}
+
+// IsSubgraphOf reports whether every edge of g appears in h with the same
+// weight, and g and h have the same vertex count.
+func (g *Graph) IsSubgraphOf(h *Graph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	for _, e := range g.edges {
+		id, ok := h.EdgeBetween(e.U, e.V)
+		if !ok || h.edges[id].W != e.W {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns the vertex sets of the connected components of
+// g, each sorted ascending, ordered by their smallest vertex.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(comps)
+		comp[s] = id
+		queue = append(queue[:0], s)
+		members := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, he := range g.adj[u] {
+				if comp[he.To] < 0 {
+					comp[he.To] = id
+					members = append(members, he.To)
+					queue = append(queue, he.To)
+				}
+			}
+		}
+		// BFS discovers vertices in increasing-distance order, not sorted
+		// order; sort for a deterministic, comparable result.
+		sortInts(members)
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// Connected reports whether g has at most one connected component
+// (the empty graph and singleton graphs are connected).
+func (g *Graph) Connected() bool {
+	return len(g.ConnectedComponents()) <= 1
+}
+
+// Girth returns the length (number of edges) of a shortest cycle in g, or
+// -1 if g is acyclic. Weights are ignored: the girth is combinatorial, which
+// is what the spanner size analysis (Lemma 7 of the paper) uses.
+//
+// The algorithm runs a BFS from every vertex and detects the first non-tree
+// edge closing a cycle, in O(n(n+m)) time. For each start vertex s the
+// shortest cycle through s is found exactly, so the minimum over all s is the
+// girth.
+func (g *Graph) Girth() int {
+	n := g.N()
+	best := -1
+	dist := make([]int, n)
+	parent := make([]int, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		parent[s] = -1
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if best >= 0 && 2*dist[u] >= best {
+				// No shorter cycle through s can be found deeper.
+				break
+			}
+			for _, he := range g.adj[u] {
+				v := he.To
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					parent[v] = u
+					queue = append(queue, v)
+				} else if parent[u] != v {
+					// Non-tree edge: cycle of length dist[u]+dist[v]+1
+					// (may overestimate if u,v are in the same BFS subtree,
+					// but the minimum over all s is still exact).
+					if c := dist[u] + dist[v] + 1; best < 0 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// HasCycleAtMost reports whether g contains a cycle with at most limit edges.
+func (g *Graph) HasCycleAtMost(limit int) bool {
+	girth := g.Girth()
+	return girth >= 0 && girth <= limit
+}
+
+// DegreeSequence returns the sorted (ascending) degree sequence of g.
+func (g *Graph) DegreeSequence() []int {
+	seq := make([]int, g.N())
+	for u := range g.adj {
+		seq[u] = len(g.adj[u])
+	}
+	sortInts(seq)
+	return seq
+}
+
+func sortInts(a []int) { sort.Ints(a) }

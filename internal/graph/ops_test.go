@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewWeighted(5)
+	g.MustAddEdgeW(0, 1, 1)
+	g.MustAddEdgeW(1, 2, 2)
+	g.MustAddEdgeW(2, 3, 3)
+	g.MustAddEdgeW(3, 4, 4)
+	g.MustAddEdgeW(0, 4, 5)
+
+	sub, toOrig, err := g.InducedSubgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatalf("InducedSubgraph: %v", err)
+	}
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Errorf("induced subgraph = %v, want n=3 m=2", sub)
+	}
+	if !reflect.DeepEqual(toOrig, []int{1, 2, 3}) {
+		t.Errorf("toOrig = %v, want [1 2 3]", toOrig)
+	}
+	// Edge 1-2 (orig) should be 0-1 (new) with weight 2.
+	id, ok := sub.EdgeBetween(0, 1)
+	if !ok || sub.Weight(id) != 2 {
+		t.Errorf("induced edge 0-1 missing or wrong weight")
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := New(3)
+	if _, _, err := g.InducedSubgraph([]int{0, 5}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, _, err := g.InducedSubgraph([]int{0, 0}); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(4)
+	e0 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	e2 := g.MustAddEdge(2, 3)
+	sub, err := g.Subgraph([]int{e0, e2})
+	if err != nil {
+		t.Fatalf("Subgraph: %v", err)
+	}
+	if sub.N() != 4 || sub.M() != 2 {
+		t.Errorf("subgraph = %v, want n=4 m=2", sub)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(2, 3) || sub.HasEdge(1, 2) {
+		t.Error("subgraph has wrong edge set")
+	}
+	if _, err := g.Subgraph([]int{99}); err == nil {
+		t.Error("out-of-range edge ID accepted")
+	}
+	if _, err := g.Subgraph([]int{e0, e0}); err == nil {
+		t.Error("duplicate edge ID accepted")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(4)
+	a.MustAddEdge(0, 1)
+	a.MustAddEdge(1, 2)
+	b := New(4)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatalf("Union: %v", err)
+	}
+	if u.M() != 3 {
+		t.Errorf("union M() = %d, want 3 (shared edge deduplicated)", u.M())
+	}
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if !u.HasEdge(pair[0], pair[1]) {
+			t.Errorf("union missing edge %v", pair)
+		}
+	}
+	if _, err := a.Union(New(5)); err == nil {
+		t.Error("union across different vertex counts accepted")
+	}
+	if _, err := a.Union(NewWeighted(4)); err == nil {
+		t.Error("union of weighted and unweighted accepted")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(4, 5)
+	comps := g.ConnectedComponents()
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}, {6}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Errorf("components = %v, want %v", comps, want)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !path(5).Connected() {
+		t.Error("path reported disconnected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Error("trivial graphs should be connected")
+	}
+}
+
+func TestGirth(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", New(4), -1},
+		{"path (acyclic)", path(6), -1},
+		{"triangle", cycle(3), 3},
+		{"C5", cycle(5), 5},
+		{"C10", cycle(10), 10},
+		{"K4", complete(4), 3},
+		{"K5", complete(5), 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.Girth(); got != tc.want {
+				t.Errorf("Girth() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGirthPetersen(t *testing.T) {
+	// The Petersen graph: 10 vertices, 15 edges, girth 5.
+	g := New(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	for _, set := range [][][2]int{outer, spokes, inner} {
+		for _, e := range set {
+			g.MustAddEdge(e[0], e[1])
+		}
+	}
+	if got := g.Girth(); got != 5 {
+		t.Errorf("Petersen girth = %d, want 5", got)
+	}
+	if g.HasCycleAtMost(4) {
+		t.Error("HasCycleAtMost(4) = true on Petersen graph")
+	}
+	if !g.HasCycleAtMost(5) {
+		t.Error("HasCycleAtMost(5) = false on Petersen graph")
+	}
+}
+
+func TestGirthTwoTriangles(t *testing.T) {
+	// Two triangles sharing a vertex: girth 3.
+	g := New(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	if got := g.Girth(); got != 3 {
+		t.Errorf("girth = %d, want 3", got)
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	got := g.DegreeSequence()
+	want := []int{1, 1, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DegreeSequence = %v, want %v", got, want)
+	}
+}
+
+func TestIsSubgraphOfWeights(t *testing.T) {
+	a := NewWeighted(3)
+	a.MustAddEdgeW(0, 1, 2)
+	b := NewWeighted(3)
+	b.MustAddEdgeW(0, 1, 3)
+	if a.IsSubgraphOf(b) {
+		t.Error("subgraph check ignored weight mismatch")
+	}
+}

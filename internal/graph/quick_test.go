@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a random simple graph from a seed, used by the
+// property tests below.
+func randomGraph(seed int64, nRaw, mRaw uint8, weighted bool) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + int(nRaw%30)
+	var g *Graph
+	if weighted {
+		g = NewWeighted(n)
+	} else {
+		g = New(n)
+	}
+	attempts := int(mRaw)
+	for i := 0; i < attempts; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		w := 1.0
+		if weighted {
+			w = 1 + rng.Float64()*9
+		}
+		g.MustAddEdgeW(u, v, w)
+	}
+	return g
+}
+
+// TestPropertyHandshake: the sum of degrees is always twice the edge count.
+func TestPropertyHandshake(t *testing.T) {
+	property := func(seed int64, nRaw, mRaw uint8, weighted bool) bool {
+		g := randomGraph(seed, nRaw, mRaw, weighted)
+		sum := 0
+		for u := 0; u < g.N(); u++ {
+			sum += g.Degree(u)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAdjacencyConsistent: every adjacency entry matches its edge
+// record, endpoints are normalized, and EdgeBetween finds every edge from
+// both directions.
+func TestPropertyAdjacencyConsistent(t *testing.T) {
+	property := func(seed int64, nRaw, mRaw uint8) bool {
+		g := randomGraph(seed, nRaw, mRaw, true)
+		for u := 0; u < g.N(); u++ {
+			for _, he := range g.Adj(u) {
+				e := g.Edge(he.ID)
+				if e.U >= e.V {
+					return false
+				}
+				if e.Other(u) != he.To {
+					return false
+				}
+				if id, ok := g.EdgeBetween(u, he.To); !ok || id != he.ID {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRoundTrip: Write ∘ Read is the identity on every graph.
+func TestPropertyRoundTrip(t *testing.T) {
+	property := func(seed int64, nRaw, mRaw uint8, weighted bool) bool {
+		g := randomGraph(seed, nRaw, mRaw, weighted)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return back.IsSubgraphOf(g) && g.IsSubgraphOf(back) && back.Weighted() == g.Weighted()
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCloneEqual: Clone is always structurally identical and
+// mutation-independent.
+func TestPropertyCloneEqual(t *testing.T) {
+	property := func(seed int64, nRaw, mRaw uint8) bool {
+		g := randomGraph(seed, nRaw, mRaw, false)
+		c := g.Clone()
+		if !c.IsSubgraphOf(g) || !g.IsSubgraphOf(c) {
+			return false
+		}
+		c.AddVertex()
+		return g.N() == c.N()-1
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyComponentsPartition: connected components always partition
+// the vertex set, and no edge crosses two components.
+func TestPropertyComponentsPartition(t *testing.T) {
+	property := func(seed int64, nRaw, mRaw uint8) bool {
+		g := randomGraph(seed, nRaw, mRaw, false)
+		comps := g.ConnectedComponents()
+		seen := make(map[int]int)
+		for i, comp := range comps {
+			for _, v := range comp {
+				if _, dup := seen[v]; dup {
+					return false
+				}
+				seen[v] = i
+			}
+		}
+		if len(seen) != g.N() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if seen[e.U] != seen[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGirthWitness: whenever Girth reports g, the graph really has
+// a cycle (m > n - #components), and acyclic graphs report -1.
+func TestPropertyGirthConsistent(t *testing.T) {
+	property := func(seed int64, nRaw, mRaw uint8) bool {
+		g := randomGraph(seed, nRaw, mRaw, false)
+		girth := g.Girth()
+		cyclomatic := g.M() - g.N() + len(g.ConnectedComponents())
+		if cyclomatic == 0 {
+			return girth == -1
+		}
+		return girth >= 3 && girth <= g.N()
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package lbc implements the Length-Bounded Cut subroutines from Section 3.1
+// of the paper.
+//
+// A length-t-cut for terminals u, v in an unweighted graph G is a set
+// F ⊆ V \ {u, v} (vertex version) or F ⊆ E (edge version) whose removal
+// makes every u-v path longer than t hops. Computing a minimum length-t-cut
+// is NP-hard (Baier et al.), so the paper defines the gap decision problem
+// LBC(t, α):
+//
+//   - if some length-t-cut has size ≤ α, the algorithm must answer YES;
+//   - if every length-t-cut has size > α·t, it must answer NO;
+//   - in between, either answer is allowed.
+//
+// Decide implements the paper's Algorithm 2: up to α+1 hop-bounded BFS
+// passes, each removing the internal vertices (or edges) of a found short
+// path — the classic "frequency" approximation of Hitting Set. Theorem 4:
+// it decides LBC(t, α) in O((m+n)·α) time.
+//
+// Exact implements a brute-force minimum length-bounded cut by subset
+// enumeration. It exists as a test oracle and for the E4 experiment; its
+// running time is exponential in the cut size.
+package lbc
+
+import (
+	"fmt"
+
+	"ftspanner/internal/combin"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/sp"
+)
+
+// Mode selects whether cuts consist of vertices or edges, mirroring the
+// paper's vertex-fault-tolerant and edge-fault-tolerant variants.
+type Mode int
+
+const (
+	// Vertex cuts remove vertices other than the terminals.
+	Vertex Mode = iota + 1
+	// Edge cuts remove edges.
+	Edge
+)
+
+// String returns "vertex" or "edge".
+func (m Mode) String() string {
+	switch m {
+	case Vertex:
+		return "vertex"
+	case Edge:
+		return "edge"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+func (m Mode) valid() bool { return m == Vertex || m == Edge }
+
+// Result is the outcome of a Decide call.
+type Result struct {
+	// Yes reports the gap decision: YES means a length-t-cut of size at most
+	// alpha*t was found (so a small cut may exist); NO means no cut of size
+	// <= alpha exists.
+	Yes bool
+	// Cut is the certificate returned on YES: vertices (Mode Vertex) or edge
+	// IDs (Mode Edge) whose removal leaves no u-v path of at most t hops.
+	// Its size is at most alpha*t. Nil on NO.
+	Cut []int
+	// Passes is the number of BFS passes performed (at most alpha+1),
+	// exposed for the E4 runtime experiment.
+	Passes int
+}
+
+// Decide runs Algorithm 2 on g with terminals u, v, hop bound t, and budget
+// alpha. Weights on g are ignored: length-bounded cuts are defined on hop
+// counts, which is exactly how the weighted greedy (Algorithm 4) uses this.
+func Decide(g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
+	if err := validate(g, u, v, t, alpha, mode); err != nil {
+		return Result{}, err
+	}
+	blocked := sp.Blocked{}
+	var cut []int
+	switch mode {
+	case Vertex:
+		blocked.V = make([]bool, g.N())
+	case Edge:
+		blocked.E = make([]bool, g.M())
+	}
+	for pass := 1; pass <= alpha+1; pass++ {
+		vertices, edgeIDs, found := sp.PathWithin(g, u, v, t, blocked)
+		if !found {
+			return Result{Yes: true, Cut: cut, Passes: pass}, nil
+		}
+		switch mode {
+		case Vertex:
+			// Add all internal vertices of the path to F.
+			for _, x := range vertices[1 : len(vertices)-1] {
+				blocked.V[x] = true
+				cut = append(cut, x)
+			}
+		case Edge:
+			for _, id := range edgeIDs {
+				blocked.E[id] = true
+				cut = append(cut, id)
+			}
+		}
+	}
+	return Result{Yes: false, Passes: alpha + 1}, nil
+}
+
+func validate(g *graph.Graph, u, v, t, alpha int, mode Mode) error {
+	if !mode.valid() {
+		return fmt.Errorf("lbc: invalid mode %v", mode)
+	}
+	n := g.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("lbc: terminal out of range: u=%d v=%d n=%d", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("lbc: terminals must differ, got u=v=%d", u)
+	}
+	if t < 1 {
+		return fmt.Errorf("lbc: hop bound t must be >= 1, got %d", t)
+	}
+	if alpha < 0 {
+		return fmt.Errorf("lbc: budget alpha must be >= 0, got %d", alpha)
+	}
+	return nil
+}
+
+// IsCut reports whether the given fault set (vertices or edge IDs, per mode)
+// is a valid length-t-cut for u, v in g: after removing it, no u-v path of
+// at most t hops remains. For Vertex mode, sets containing a terminal are
+// rejected (a cut must avoid the terminals by definition).
+func IsCut(g *graph.Graph, u, v, t int, cut []int, mode Mode) (bool, error) {
+	if err := validate(g, u, v, t, 0, mode); err != nil {
+		return false, err
+	}
+	var blocked sp.Blocked
+	switch mode {
+	case Vertex:
+		for _, x := range cut {
+			if x == u || x == v {
+				return false, nil
+			}
+			if x < 0 || x >= g.N() {
+				return false, fmt.Errorf("lbc: cut vertex %d out of range", x)
+			}
+		}
+		blocked = sp.BlockVertices(g, cut...)
+	case Edge:
+		for _, id := range cut {
+			if id < 0 || id >= g.M() {
+				return false, fmt.Errorf("lbc: cut edge ID %d out of range", id)
+			}
+		}
+		blocked = sp.BlockEdges(g, cut...)
+	}
+	_, _, found := sp.PathWithin(g, u, v, t, blocked)
+	return !found, nil
+}
+
+// Exact computes a minimum length-t-cut for u, v in g by enumerating subsets
+// of increasing size up to maxSize. It returns the cut and found=true if a
+// cut of size at most maxSize exists. Running time is O(C(n, maxSize)·(m+n))
+// — use only on small instances (test oracle, E3/E4 experiments).
+func Exact(g *graph.Graph, u, v, t, maxSize int, mode Mode) (cut []int, found bool, err error) {
+	if err := validate(g, u, v, t, 0, mode); err != nil {
+		return nil, false, err
+	}
+	if maxSize < 0 {
+		return nil, false, fmt.Errorf("lbc: maxSize must be >= 0, got %d", maxSize)
+	}
+
+	// Candidate elements: vertices other than the terminals, or all edges.
+	var candidates []int
+	switch mode {
+	case Vertex:
+		for x := 0; x < g.N(); x++ {
+			if x != u && x != v {
+				candidates = append(candidates, x)
+			}
+		}
+	case Edge:
+		for id := 0; id < g.M(); id++ {
+			candidates = append(candidates, id)
+		}
+	}
+
+	var best []int
+	combin.ForEachUpTo(len(candidates), maxSize, func(idx []int) bool {
+		trial := make([]int, len(idx))
+		for i, c := range idx {
+			trial[i] = candidates[c]
+		}
+		ok, cerr := IsCut(g, u, v, t, trial, mode)
+		if cerr != nil {
+			err = cerr
+			return true
+		}
+		if ok {
+			best = trial
+			return true // sizes enumerated ascending, so first hit is minimum
+		}
+		return false
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if best == nil {
+		return nil, false, nil
+	}
+	return best, true, nil
+}

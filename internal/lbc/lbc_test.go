@@ -1,0 +1,279 @@
+package lbc
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/sp"
+)
+
+// twoDisjointPaths builds a graph with exactly two internally-disjoint u-v
+// paths of the given hop lengths. Returns g, u, v.
+func twoDisjointPaths(len1, len2 int) (*graph.Graph, int, int) {
+	n := 2 + (len1 - 1) + (len2 - 1)
+	g := graph.New(n)
+	u, v := 0, 1
+	next := 2
+	for _, l := range []int{len1, len2} {
+		prev := u
+		for i := 0; i < l-1; i++ {
+			g.MustAddEdge(prev, next)
+			prev = next
+			next++
+		}
+		g.MustAddEdge(prev, v)
+	}
+	return g, u, v
+}
+
+func TestDecideYesOnSeparablePair(t *testing.T) {
+	// Path 0-1-2: {1} is a length-2 vertex cut, so LBC(2, 1) must say YES.
+	g := gen.Path(3)
+	res, err := Decide(g, 0, 2, 2, 1, Vertex)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if !res.Yes {
+		t.Fatal("Decide = NO, want YES (cut {1} has size 1 <= alpha)")
+	}
+	ok, err := IsCut(g, 0, 2, 2, res.Cut, Vertex)
+	if err != nil || !ok {
+		t.Errorf("returned certificate %v is not a valid cut (ok=%v err=%v)", res.Cut, ok, err)
+	}
+	if len(res.Cut) > 1*2 {
+		t.Errorf("certificate size %d exceeds alpha*t = 2", len(res.Cut))
+	}
+}
+
+func TestDecideNoWhenWellConnected(t *testing.T) {
+	// K5 minus terminals still has 3 internally disjoint 2-hop u-v paths
+	// plus the direct edge; every length-3 vertex cut needs >= 3 vertices.
+	// With alpha*t = 1*3 = 3 the instance is in the gray zone, so use
+	// alpha=0: any path at all forces NO after 1 pass.
+	g := gen.Complete(5)
+	res, err := Decide(g, 0, 1, 3, 0, Vertex)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if res.Yes {
+		t.Error("Decide = YES on K5 with alpha=0, want NO")
+	}
+	if res.Passes != 1 {
+		t.Errorf("passes = %d, want 1", res.Passes)
+	}
+}
+
+func TestDecideEdgeMode(t *testing.T) {
+	// Two disjoint u-v paths of lengths 2 and 3: min length-3 edge cut is 2.
+	g, u, v := twoDisjointPaths(2, 3)
+	res, err := Decide(g, u, v, 3, 2, Edge)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if !res.Yes {
+		t.Fatal("Decide edge mode = NO, want YES (cut of size 2 exists <= alpha)")
+	}
+	ok, err := IsCut(g, u, v, 3, res.Cut, Edge)
+	if err != nil || !ok {
+		t.Errorf("edge certificate %v invalid (ok=%v err=%v)", res.Cut, ok, err)
+	}
+	if len(res.Cut) > 2*3 {
+		t.Errorf("certificate size %d exceeds alpha*t = 6", len(res.Cut))
+	}
+}
+
+func TestDecideDirectEdgeVertexMode(t *testing.T) {
+	// When {u,v} itself is an edge, no vertex cut can disconnect them within
+	// any t >= 1, so Decide must return NO for every alpha.
+	g := gen.Complete(4)
+	for alpha := 0; alpha <= 3; alpha++ {
+		res, err := Decide(g, 0, 1, 3, alpha, Vertex)
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		if res.Yes {
+			t.Errorf("alpha=%d: YES despite direct u-v edge", alpha)
+		}
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	g := gen.Path(4)
+	cases := []struct {
+		name           string
+		u, v, t, alpha int
+		mode           Mode
+	}{
+		{"u out of range", -1, 2, 3, 1, Vertex},
+		{"v out of range", 0, 9, 3, 1, Vertex},
+		{"u == v", 2, 2, 3, 1, Vertex},
+		{"t < 1", 0, 1, 0, 1, Vertex},
+		{"alpha < 0", 0, 1, 3, -1, Vertex},
+		{"bad mode", 0, 1, 3, 1, Mode(0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decide(g, tc.u, tc.v, tc.t, tc.alpha, tc.mode); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestIsCut(t *testing.T) {
+	g, u, v := twoDisjointPaths(2, 2) // u-a-v and u-b-v
+	ok, err := IsCut(g, u, v, 2, []int{2, 3}, Vertex)
+	if err != nil || !ok {
+		t.Errorf("IsCut({2,3}) = %v, %v; want true", ok, err)
+	}
+	ok, err = IsCut(g, u, v, 2, []int{2}, Vertex)
+	if err != nil || ok {
+		t.Errorf("IsCut({2}) = %v, %v; want false (second path remains)", ok, err)
+	}
+	// Cuts containing a terminal are invalid by definition.
+	ok, err = IsCut(g, u, v, 2, []int{u}, Vertex)
+	if err != nil || ok {
+		t.Errorf("IsCut containing terminal = %v, %v; want false", ok, err)
+	}
+	if _, err := IsCut(g, u, v, 2, []int{99}, Vertex); err == nil {
+		t.Error("out-of-range cut vertex accepted")
+	}
+	if _, err := IsCut(g, u, v, 2, []int{99}, Edge); err == nil {
+		t.Error("out-of-range cut edge accepted")
+	}
+}
+
+func TestExactVertex(t *testing.T) {
+	g, u, v := twoDisjointPaths(2, 3)
+	// Min length-3 vertex cut: one vertex from each path = 2.
+	cut, found, err := Exact(g, u, v, 3, 3, Vertex)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if !found || len(cut) != 2 {
+		t.Fatalf("Exact = %v found=%v, want size-2 cut", cut, found)
+	}
+	ok, _ := IsCut(g, u, v, 3, cut, Vertex)
+	if !ok {
+		t.Errorf("Exact returned invalid cut %v", cut)
+	}
+	// With t=2 only the short path matters: min cut is 1.
+	cut, found, err = Exact(g, u, v, 2, 3, Vertex)
+	if err != nil || !found || len(cut) != 1 {
+		t.Errorf("Exact t=2 = %v found=%v err=%v, want size-1 cut", cut, found, err)
+	}
+}
+
+func TestExactNoCutExists(t *testing.T) {
+	g := gen.Complete(4)
+	// Direct edge means no vertex cut exists at all.
+	if _, found, err := Exact(g, 0, 1, 3, 2, Vertex); err != nil || found {
+		t.Errorf("Exact on adjacent pair: found=%v err=%v, want no cut", found, err)
+	}
+	// Edge mode: K4 has 3 edge-disjoint u-v paths of <= 2 hops; maxSize 2 insufficient.
+	if _, found, err := Exact(g, 0, 1, 2, 2, Edge); err != nil || found {
+		t.Errorf("Exact edge maxSize=2: found=%v err=%v, want none", found, err)
+	}
+	if cut, found, err := Exact(g, 0, 1, 2, 3, Edge); err != nil || !found || len(cut) != 3 {
+		t.Errorf("Exact edge maxSize=3 = %v found=%v err=%v, want size-3 cut", cut, found, err)
+	}
+}
+
+func TestExactValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, _, err := Exact(g, 0, 2, 2, -1, Vertex); err == nil {
+		t.Error("negative maxSize accepted")
+	}
+	if _, _, err := Exact(g, 0, 0, 2, 1, Vertex); err == nil {
+		t.Error("u == v accepted")
+	}
+}
+
+// TestGapGuarantee is the Theorem 4 property test: on random small graphs,
+// whenever the exact minimum length-t-cut has size <= alpha, Decide must say
+// YES; whenever it exceeds alpha*t, Decide must say NO. YES certificates must
+// be valid cuts of size <= alpha*t.
+func TestGapGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		g, err := gen.GNP(rng, 10, 0.35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, v := 0, 1+rng.Intn(9)
+		tHop := 2 + rng.Intn(3) // t in {2,3,4}
+		alpha := 1 + rng.Intn(2)
+		for _, mode := range []Mode{Vertex, Edge} {
+			res, err := Decide(g, u, v, tHop, alpha, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Yes {
+				ok, err := IsCut(g, u, v, tHop, res.Cut, mode)
+				if err != nil || !ok {
+					t.Fatalf("trial %d %v: YES certificate invalid: %v %v", trial, mode, res.Cut, err)
+				}
+				if len(res.Cut) > alpha*tHop {
+					t.Fatalf("trial %d %v: certificate size %d > alpha*t = %d",
+						trial, mode, len(res.Cut), alpha*tHop)
+				}
+				// Completeness direction: every cut of size <= alpha implies
+				// YES, which is satisfied; nothing more to check.
+			} else {
+				// NO requires that no cut of size <= alpha exists.
+				if _, found, err := Exact(g, u, v, tHop, alpha, mode); err != nil {
+					t.Fatal(err)
+				} else if found {
+					t.Fatalf("trial %d %v: Decide said NO but a cut of size <= %d exists",
+						trial, mode, alpha)
+				}
+			}
+		}
+	}
+}
+
+// TestDecidePassBound checks the Theorem 4 runtime shape: at most alpha+1
+// BFS passes.
+func TestDecidePassBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g, err := gen.GNP(rng, 40, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for alpha := 0; alpha <= 5; alpha++ {
+		res, err := Decide(g, 0, 1, 3, alpha, Vertex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Passes < 1 || res.Passes > alpha+1 {
+			t.Errorf("alpha=%d: passes = %d, want in [1,%d]", alpha, res.Passes, alpha+1)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Vertex.String() != "vertex" || Edge.String() != "edge" {
+		t.Errorf("mode strings: %q %q", Vertex, Edge)
+	}
+	if Mode(7).String() != "Mode(7)" {
+		t.Errorf("unknown mode string: %q", Mode(7))
+	}
+}
+
+// Guard against accidental API drift: Decide must not mutate the input graph.
+func TestDecideDoesNotMutate(t *testing.T) {
+	g := gen.Complete(5)
+	before := g.M()
+	if _, err := Decide(g, 0, 1, 3, 2, Vertex); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != before {
+		t.Error("Decide mutated the input graph")
+	}
+	// And BFS on the original still works (no lingering blocked state).
+	if d := sp.HopDist(g, 0, 1, sp.Blocked{}); d != 1 {
+		t.Errorf("post-Decide dist = %d, want 1", d)
+	}
+}

@@ -1,0 +1,102 @@
+package sp
+
+import (
+	"container/heap"
+	"math"
+
+	"ftspanner/internal/graph"
+)
+
+// Inf is the weighted distance reported for unreachable vertices.
+var Inf = math.Inf(1)
+
+// DijkstraResult holds per-vertex results of a Dijkstra run: weighted
+// distances from the source and the shortest-path tree.
+type DijkstraResult struct {
+	Dist    []float64
+	ParentV []int
+	ParentE []int
+}
+
+// PathTo reconstructs the shortest path from the source to v. It returns
+// ok=false if v was unreachable.
+func (r DijkstraResult) PathTo(v int) (vertices, edgeIDs []int, ok bool) {
+	return reconstruct(!math.IsInf(r.Dist[v], 1), r.ParentV, r.ParentE, v)
+}
+
+// pqItem is a pending vertex in the Dijkstra priority queue. Lazy deletion:
+// stale entries are skipped when popped.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// Dijkstra computes weighted shortest-path distances from src in g \ blocked.
+// On unweighted graphs all weights are 1, so it agrees with BFS.
+//
+// If src is blocked every vertex is unreachable (distance +Inf).
+func Dijkstra(g *graph.Graph, src int, blocked Blocked) DijkstraResult {
+	n := g.N()
+	res := DijkstraResult{
+		Dist:    make([]float64, n),
+		ParentV: make([]int, n),
+		ParentE: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Dist[i] = Inf
+		res.ParentV[i] = -1
+		res.ParentE[i] = -1
+	}
+	if blocked.Vertex(src) {
+		return res
+	}
+	res.Dist[src] = 0
+	done := make([]bool, n)
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		item := heap.Pop(q).(pqItem)
+		u := item.v
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, he := range g.Adj(u) {
+			if blocked.Edge(he.ID) || blocked.Vertex(he.To) || done[he.To] {
+				continue
+			}
+			if nd := res.Dist[u] + g.Weight(he.ID); nd < res.Dist[he.To] {
+				res.Dist[he.To] = nd
+				res.ParentV[he.To] = u
+				res.ParentE[he.To] = he.ID
+				heap.Push(q, pqItem{v: he.To, dist: nd})
+			}
+		}
+	}
+	return res
+}
+
+// Dist returns the weighted shortest-path distance between u and v in
+// g \ blocked, or +Inf if unreachable.
+func Dist(g *graph.Graph, u, v int, blocked Blocked) float64 {
+	if u == v {
+		if blocked.Vertex(u) {
+			return Inf
+		}
+		return 0
+	}
+	return Dijkstra(g, u, blocked).Dist[v]
+}

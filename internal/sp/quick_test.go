@@ -1,0 +1,160 @@
+package sp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+)
+
+func randomGraph(seed int64, nRaw uint8) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + int(nRaw%40)
+	g, err := gen.GNP(rng, n, 0.25)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestPropertyBFSTriangle: hop distances satisfy the triangle inequality
+// through any intermediate vertex.
+func TestPropertyBFSTriangle(t *testing.T) {
+	property := func(seed int64, nRaw uint8) bool {
+		g := randomGraph(seed, nRaw)
+		rng := rand.New(rand.NewSource(seed + 1))
+		src := rng.Intn(g.N())
+		res := BFS(g, src, Blocked{})
+		for u := 0; u < g.N(); u++ {
+			if res.Dist[u] == Unreachable {
+				continue
+			}
+			for _, he := range g.Adj(u) {
+				dv := res.Dist[he.To]
+				if dv == Unreachable || dv > res.Dist[u]+1 || dv < res.Dist[u]-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBFSSymmetric: d(u,v) == d(v,u) on undirected graphs, with and
+// without faults.
+func TestPropertyBFSSymmetric(t *testing.T) {
+	property := func(seed int64, nRaw uint8, useFault bool) bool {
+		g := randomGraph(seed, nRaw)
+		rng := rand.New(rand.NewSource(seed + 2))
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		blocked := Blocked{}
+		if useFault {
+			blocked = BlockVertices(g, rng.Intn(g.N()))
+		}
+		return HopDist(g, u, v, blocked) == HopDist(g, v, u, blocked)
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPathIsValid: reconstructed paths are walks in the graph that
+// avoid every blocked element, with length equal to the reported distance.
+func TestPropertyPathIsValid(t *testing.T) {
+	property := func(seed int64, nRaw uint8) bool {
+		g := randomGraph(seed, nRaw)
+		rng := rand.New(rand.NewSource(seed + 3))
+		blocked := BlockVertices(g, rng.Intn(g.N()))
+		src := rng.Intn(g.N())
+		res := BFS(g, src, blocked)
+		for v := 0; v < g.N(); v++ {
+			vs, es, ok := res.PathTo(v)
+			if !ok {
+				continue
+			}
+			if len(vs) != len(es)+1 || vs[0] != src || vs[len(vs)-1] != v {
+				return false
+			}
+			if len(es) != res.Dist[v] {
+				return false
+			}
+			for i, id := range es {
+				e := g.Edge(id)
+				if !((e.U == vs[i] && e.V == vs[i+1]) || (e.V == vs[i] && e.U == vs[i+1])) {
+					return false
+				}
+			}
+			for _, x := range vs {
+				if blocked.Vertex(x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFaultsOnlyIncreaseDistance: adding faults never shortens a
+// distance.
+func TestPropertyFaultsOnlyIncreaseDistance(t *testing.T) {
+	property := func(seed int64, nRaw uint8) bool {
+		g := randomGraph(seed, nRaw)
+		rng := rand.New(rand.NewSource(seed + 4))
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		x := rng.Intn(g.N())
+		if x == u || x == v {
+			return true
+		}
+		before := HopDist(g, u, v, Blocked{})
+		after := HopDist(g, u, v, BlockVertices(g, x))
+		if before == Unreachable {
+			return after == Unreachable
+		}
+		return after == Unreachable || after >= before
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDijkstraMatchesBFSTimesWeight: on uniformly weighted graphs
+// (all weights w), Dijkstra distances are exactly w times hop distances.
+func TestPropertyDijkstraScales(t *testing.T) {
+	property := func(seed int64, nRaw uint8, wRaw uint8) bool {
+		g := randomGraph(seed, nRaw)
+		w := 0.5 + float64(wRaw%10)
+		wg := graph.NewWeighted(g.N())
+		for _, e := range g.Edges() {
+			wg.MustAddEdgeW(e.U, e.V, w)
+		}
+		rng := rand.New(rand.NewSource(seed + 5))
+		src := rng.Intn(g.N())
+		hop := BFS(g, src, Blocked{})
+		wd := Dijkstra(wg, src, Blocked{})
+		for v := 0; v < g.N(); v++ {
+			if hop.Dist[v] == Unreachable {
+				if !math.IsInf(wd.Dist[v], 1) {
+					return false
+				}
+				continue
+			}
+			want := w * float64(hop.Dist[v])
+			if math.Abs(wd.Dist[v]-want) > 1e-9*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

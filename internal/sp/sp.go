@@ -1,0 +1,193 @@
+// Package sp implements shortest-path queries on graphs with optional fault
+// masks.
+//
+// Every query accepts a Blocked mask describing a set of failed vertices
+// and/or edges; the query behaves exactly as if it ran on G \ F without
+// materializing the subgraph. This is the primitive the paper's algorithms
+// are built from: Algorithm 2 repeatedly runs hop-bounded BFS on the growing
+// spanner minus an accumulating fault set, and the exponential greedy
+// (Algorithm 1) runs distance queries under every candidate fault set.
+package sp
+
+import (
+	"math"
+
+	"ftspanner/internal/graph"
+)
+
+// Unreachable is the hop distance reported for unreachable vertices.
+const Unreachable = -1
+
+// Blocked is a fault mask: V[u] (if V is non-nil) marks vertex u as failed,
+// E[id] (if E is non-nil) marks edge id as failed. A zero Blocked{} blocks
+// nothing. Masks are indexed by the graph's dense vertex and edge IDs.
+type Blocked struct {
+	V []bool
+	E []bool
+}
+
+// Vertex reports whether vertex u is blocked.
+func (b Blocked) Vertex(u int) bool { return b.V != nil && b.V[u] }
+
+// Edge reports whether edge id is blocked.
+func (b Blocked) Edge(id int) bool { return b.E != nil && b.E[id] }
+
+// BlockVertices returns a Blocked mask for graph g failing exactly the given
+// vertices.
+func BlockVertices(g *graph.Graph, vs ...int) Blocked {
+	mask := make([]bool, g.N())
+	for _, v := range vs {
+		mask[v] = true
+	}
+	return Blocked{V: mask}
+}
+
+// BlockEdges returns a Blocked mask for graph g failing exactly the given
+// edge IDs.
+func BlockEdges(g *graph.Graph, ids ...int) Blocked {
+	mask := make([]bool, g.M())
+	for _, id := range ids {
+		mask[id] = true
+	}
+	return Blocked{E: mask}
+}
+
+// BFSResult holds per-vertex results of a BFS: hop distances from the source
+// and the BFS tree (parent vertex and the connecting edge ID), with -1
+// entries for the source and unreachable vertices.
+type BFSResult struct {
+	Dist    []int
+	ParentV []int
+	ParentE []int
+}
+
+// BFS computes hop distances from src in g \ blocked.
+//
+// If src itself is blocked, every vertex (including src) is unreachable.
+func BFS(g *graph.Graph, src int, blocked Blocked) BFSResult {
+	return BFSBounded(g, src, math.MaxInt, blocked)
+}
+
+// BFSBounded is BFS truncated at maxHops: vertices farther than maxHops keep
+// distance Unreachable. Truncation is what makes the LBC subroutine's
+// O((m+n)·α) bound hold with a hop budget t.
+func BFSBounded(g *graph.Graph, src int, maxHops int, blocked Blocked) BFSResult {
+	n := g.N()
+	res := BFSResult{
+		Dist:    make([]int, n),
+		ParentV: make([]int, n),
+		ParentE: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Dist[i] = Unreachable
+		res.ParentV[i] = -1
+		res.ParentE[i] = -1
+	}
+	if blocked.Vertex(src) {
+		return res
+	}
+	res.Dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if res.Dist[u] >= maxHops {
+			continue
+		}
+		for _, he := range g.Adj(u) {
+			if blocked.Edge(he.ID) || blocked.Vertex(he.To) || res.Dist[he.To] >= 0 {
+				continue
+			}
+			res.Dist[he.To] = res.Dist[u] + 1
+			res.ParentV[he.To] = u
+			res.ParentE[he.To] = he.ID
+			queue = append(queue, he.To)
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the path from the BFS/Dijkstra source to v as a vertex
+// sequence and the corresponding edge IDs. It returns ok=false if v was
+// unreachable.
+func (r BFSResult) PathTo(v int) (vertices, edgeIDs []int, ok bool) {
+	return reconstruct(r.Dist[v] != Unreachable, r.ParentV, r.ParentE, v)
+}
+
+func reconstruct(reachable bool, parentV, parentE []int, v int) ([]int, []int, bool) {
+	if !reachable {
+		return nil, nil, false
+	}
+	var vertices, edgeIDs []int
+	for v != -1 {
+		vertices = append(vertices, v)
+		if parentE[v] != -1 {
+			edgeIDs = append(edgeIDs, parentE[v])
+		}
+		v = parentV[v]
+	}
+	// Reverse into source-to-target order.
+	for i, j := 0, len(vertices)-1; i < j; i, j = i+1, j-1 {
+		vertices[i], vertices[j] = vertices[j], vertices[i]
+	}
+	for i, j := 0, len(edgeIDs)-1; i < j; i, j = i+1, j-1 {
+		edgeIDs[i], edgeIDs[j] = edgeIDs[j], edgeIDs[i]
+	}
+	return vertices, edgeIDs, true
+}
+
+// HopDist returns the number of edges on a shortest u-v path in g \ blocked,
+// or Unreachable.
+func HopDist(g *graph.Graph, u, v int, blocked Blocked) int {
+	if u == v {
+		if blocked.Vertex(u) {
+			return Unreachable
+		}
+		return 0
+	}
+	return BFS(g, u, blocked).Dist[v]
+}
+
+// PathWithin returns a u-v path with at most maxHops edges in g \ blocked if
+// one exists. This is the inner query of Algorithm 2 (LBC): "run BFS to find
+// a path of length at most t from u to v in G \ F if one exists."
+func PathWithin(g *graph.Graph, u, v, maxHops int, blocked Blocked) (vertices, edgeIDs []int, ok bool) {
+	if u == v {
+		if blocked.Vertex(u) {
+			return nil, nil, false
+		}
+		return []int{u}, nil, true
+	}
+	res := BFSBounded(g, u, maxHops, blocked)
+	if res.Dist[v] == Unreachable || res.Dist[v] > maxHops {
+		return nil, nil, false
+	}
+	return res.PathTo(v)
+}
+
+// Eccentricity returns the maximum hop distance from u to any vertex
+// reachable from u in g \ blocked (0 if u is isolated or blocked).
+func Eccentricity(g *graph.Graph, u int, blocked Blocked) int {
+	res := BFS(g, u, blocked)
+	max := 0
+	for _, d := range res.Dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// HopDiameter returns the maximum eccentricity over all vertices, considering
+// only reachable pairs, and reports whether the graph (minus blocked) is
+// connected on its non-blocked vertices.
+func HopDiameter(g *graph.Graph) int {
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		if e := Eccentricity(g, u, Blocked{}); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}

@@ -1,0 +1,251 @@
+package sp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := gen.Path(5)
+	res := BFS(g, 0, Blocked{})
+	want := []int{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(res.Dist, want) {
+		t.Errorf("BFS dist = %v, want %v", res.Dist, want)
+	}
+	vs, es, ok := res.PathTo(4)
+	if !ok || !reflect.DeepEqual(vs, []int{0, 1, 2, 3, 4}) || len(es) != 4 {
+		t.Errorf("PathTo(4) = %v %v %v", vs, es, ok)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	res := BFS(g, 0, Blocked{})
+	if res.Dist[2] != Unreachable || res.Dist[3] != Unreachable {
+		t.Errorf("unreachable dist = %v", res.Dist)
+	}
+	if _, _, ok := res.PathTo(3); ok {
+		t.Error("PathTo returned a path to an unreachable vertex")
+	}
+}
+
+func TestBFSBlockedVertex(t *testing.T) {
+	// 0-1-2 and 0-3-4-2: blocking 1 forces the long way around.
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 2)
+	if d := HopDist(g, 0, 2, Blocked{}); d != 2 {
+		t.Errorf("unblocked dist = %d, want 2", d)
+	}
+	if d := HopDist(g, 0, 2, BlockVertices(g, 1)); d != 3 {
+		t.Errorf("blocked dist = %d, want 3", d)
+	}
+	if d := HopDist(g, 0, 2, BlockVertices(g, 1, 4)); d != Unreachable {
+		t.Errorf("doubly blocked dist = %d, want unreachable", d)
+	}
+}
+
+func TestBFSBlockedEdge(t *testing.T) {
+	g := graph.New(3)
+	e01 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	if d := HopDist(g, 0, 1, BlockEdges(g, e01)); d != 2 {
+		t.Errorf("dist with edge blocked = %d, want 2 (via vertex 2)", d)
+	}
+}
+
+func TestBFSBlockedSource(t *testing.T) {
+	g := gen.Path(3)
+	res := BFS(g, 0, BlockVertices(g, 0))
+	for v, d := range res.Dist {
+		if d != Unreachable {
+			t.Errorf("dist[%d] = %d with blocked source, want unreachable", v, d)
+		}
+	}
+	if d := HopDist(g, 0, 0, BlockVertices(g, 0)); d != Unreachable {
+		t.Errorf("HopDist(u,u) with u blocked = %d", d)
+	}
+	if d := HopDist(g, 1, 1, Blocked{}); d != 0 {
+		t.Errorf("HopDist(u,u) = %d, want 0", d)
+	}
+}
+
+func TestBFSBounded(t *testing.T) {
+	g := gen.Path(10)
+	res := BFSBounded(g, 0, 3, Blocked{})
+	for v := 0; v <= 3; v++ {
+		if res.Dist[v] != v {
+			t.Errorf("dist[%d] = %d, want %d", v, res.Dist[v], v)
+		}
+	}
+	for v := 4; v < 10; v++ {
+		if res.Dist[v] != Unreachable {
+			t.Errorf("dist[%d] = %d beyond bound, want unreachable", v, res.Dist[v])
+		}
+	}
+}
+
+func TestPathWithin(t *testing.T) {
+	g := gen.Path(6)
+	vs, es, ok := PathWithin(g, 0, 3, 3, Blocked{})
+	if !ok || len(vs) != 4 || len(es) != 3 {
+		t.Errorf("PathWithin(0,3,3) = %v %v %v", vs, es, ok)
+	}
+	if _, _, ok := PathWithin(g, 0, 4, 3, Blocked{}); ok {
+		t.Error("PathWithin found a path longer than the bound")
+	}
+	// Same endpoint cases.
+	vs, es, ok = PathWithin(g, 2, 2, 0, Blocked{})
+	if !ok || !reflect.DeepEqual(vs, []int{2}) || len(es) != 0 {
+		t.Errorf("PathWithin(u,u) = %v %v %v", vs, es, ok)
+	}
+	if _, _, ok := PathWithin(g, 2, 2, 0, BlockVertices(g, 2)); ok {
+		t.Error("PathWithin(u,u) with u blocked succeeded")
+	}
+}
+
+func TestPathWithinEdgeIDs(t *testing.T) {
+	g := graph.New(4)
+	ids := []int{
+		g.MustAddEdge(0, 1),
+		g.MustAddEdge(1, 2),
+		g.MustAddEdge(2, 3),
+	}
+	_, es, ok := PathWithin(g, 0, 3, 5, Blocked{})
+	if !ok || !reflect.DeepEqual(es, ids) {
+		t.Errorf("edge IDs = %v, want %v", es, ids)
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Weighted diamond: 0-1 (1), 1-3 (1), 0-2 (1), 2-3 (10), 0-3 (5).
+	g := graph.NewWeighted(4)
+	g.MustAddEdgeW(0, 1, 1)
+	g.MustAddEdgeW(1, 3, 1)
+	g.MustAddEdgeW(0, 2, 1)
+	g.MustAddEdgeW(2, 3, 10)
+	g.MustAddEdgeW(0, 3, 5)
+	res := Dijkstra(g, 0, Blocked{})
+	want := []float64{0, 1, 1, 2}
+	if !reflect.DeepEqual(res.Dist, want) {
+		t.Errorf("Dijkstra dist = %v, want %v", res.Dist, want)
+	}
+	vs, _, ok := res.PathTo(3)
+	if !ok || !reflect.DeepEqual(vs, []int{0, 1, 3}) {
+		t.Errorf("shortest path = %v, want [0 1 3]", vs)
+	}
+	// Block vertex 1: now 0-3 direct (5) beats 0-2-3 (11).
+	res = Dijkstra(g, 0, BlockVertices(g, 1))
+	if res.Dist[3] != 5 {
+		t.Errorf("dist with 1 blocked = %v, want 5", res.Dist[3])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.NewWeighted(3)
+	g.MustAddEdgeW(0, 1, 2)
+	res := Dijkstra(g, 0, Blocked{})
+	if !math.IsInf(res.Dist[2], 1) {
+		t.Errorf("dist[2] = %v, want +Inf", res.Dist[2])
+	}
+	if _, _, ok := res.PathTo(2); ok {
+		t.Error("PathTo returned a path to an unreachable vertex")
+	}
+	if d := Dist(g, 0, 0, Blocked{}); d != 0 {
+		t.Errorf("Dist(u,u) = %v", d)
+	}
+	if d := Dist(g, 0, 0, BlockVertices(g, 0)); !math.IsInf(d, 1) {
+		t.Errorf("Dist(u,u) blocked = %v, want +Inf", d)
+	}
+}
+
+func TestDijkstraAgreesWithBFSOnUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := gen.GNP(rng, 80, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 10; src++ {
+		bfs := BFS(g, src, Blocked{})
+		dij := Dijkstra(g, src, Blocked{})
+		for v := 0; v < g.N(); v++ {
+			switch {
+			case bfs.Dist[v] == Unreachable:
+				if !math.IsInf(dij.Dist[v], 1) {
+					t.Fatalf("src %d v %d: BFS unreachable but Dijkstra %v", src, v, dij.Dist[v])
+				}
+			case float64(bfs.Dist[v]) != dij.Dist[v]:
+				t.Fatalf("src %d v %d: BFS %d != Dijkstra %v", src, v, bfs.Dist[v], dij.Dist[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraAgreesWithBFSUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g, err := gen.GNP(rng, 60, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		blocked := BlockVertices(g, rng.Intn(g.N()), rng.Intn(g.N()))
+		src := rng.Intn(g.N())
+		bfs := BFS(g, src, blocked)
+		dij := Dijkstra(g, src, blocked)
+		for v := 0; v < g.N(); v++ {
+			bd := float64(bfs.Dist[v])
+			if bfs.Dist[v] == Unreachable {
+				bd = math.Inf(1)
+			}
+			if bd != dij.Dist[v] {
+				t.Fatalf("trial %d src %d v %d: BFS %v != Dijkstra %v", trial, src, v, bd, dij.Dist[v])
+			}
+		}
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := gen.Path(7)
+	if e := Eccentricity(g, 0, Blocked{}); e != 6 {
+		t.Errorf("ecc(0) = %d, want 6", e)
+	}
+	if e := Eccentricity(g, 3, Blocked{}); e != 3 {
+		t.Errorf("ecc(3) = %d, want 3", e)
+	}
+	if d := HopDiameter(g); d != 6 {
+		t.Errorf("diameter = %d, want 6", d)
+	}
+	q, err := gen.Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := HopDiameter(q); d != 4 {
+		t.Errorf("Q4 diameter = %d, want 4", d)
+	}
+}
+
+func TestBlockedHelpers(t *testing.T) {
+	g := gen.Path(4)
+	b := BlockVertices(g, 1, 3)
+	if !b.Vertex(1) || !b.Vertex(3) || b.Vertex(0) || b.Edge(0) {
+		t.Error("BlockVertices mask wrong")
+	}
+	be := BlockEdges(g, 2)
+	if !be.Edge(2) || be.Edge(0) || be.Vertex(2) {
+		t.Error("BlockEdges mask wrong")
+	}
+	var zero Blocked
+	if zero.Vertex(0) || zero.Edge(0) {
+		t.Error("zero Blocked blocks something")
+	}
+}

@@ -1,0 +1,202 @@
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ftspanner/internal/graph"
+)
+
+// BaswanaSen builds a (2k-1)-spanner of g with the randomized clustering
+// algorithm of Baswana and Sen (Random Structures & Algorithms, 2007). The
+// expected number of edges is O(k·n^(1+1/k)) and the stretch guarantee is
+// deterministic: every run returns a valid (2k-1)-spanner.
+//
+// The algorithm runs k-1 clustering phases. Each phase samples the current
+// clusters with probability n^(-1/k); a vertex not in a sampled cluster
+// either joins the sampled cluster offering its lightest incident edge
+// (contributing that edge) or, if it has no sampled neighbor, contributes
+// its lightest edge to every adjacent cluster and retires. A final phase
+// connects every surviving vertex to each adjacent cluster with its lightest
+// edge. Ties between equal-weight edges are broken by edge ID so a run is
+// fully determined by (g, k, rng).
+func BaswanaSen(rng *rand.Rand, g *graph.Graph, k int) (*graph.Graph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("spanner: nil graph")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("spanner: stretch parameter k must be >= 1, got %d", k)
+	}
+	n := g.N()
+	h := g.EmptyLike()
+	if k == 1 {
+		// Stretch 1 requires every edge.
+		for _, e := range g.Edges() {
+			h.MustAddEdgeW(e.U, e.V, e.W)
+		}
+		return h, nil
+	}
+	if n == 0 {
+		return h, nil
+	}
+
+	sampleProb := math.Pow(float64(n), -1.0/float64(k))
+
+	// clusterOf[v] is the center of v's cluster, or -1 once v has retired.
+	clusterOf := make([]int, n)
+	for v := range clusterOf {
+		clusterOf[v] = v
+	}
+	// alive[id]: edge id still in the working edge set E'.
+	alive := make([]bool, g.M())
+	for id := range alive {
+		alive[id] = true
+	}
+	addedPair := make(map[[2]int]bool, g.M()) // dedupe spanner insertions
+
+	addEdge := func(id int) {
+		e := g.Edge(id)
+		key := [2]int{e.U, e.V}
+		if !addedPair[key] {
+			addedPair[key] = true
+			h.MustAddEdgeW(e.U, e.V, e.W)
+		}
+	}
+
+	for phase := 1; phase <= k-1; phase++ {
+		// Sample the current cluster centers. Centers are collected in
+		// vertex-ID order so the rng consumption (and hence the run) is
+		// fully determined by the seed.
+		sampled := make(map[int]bool)
+		seen := make([]bool, n)
+		var centers []int
+		for v := 0; v < n; v++ {
+			if c := clusterOf[v]; c >= 0 && !seen[c] {
+				seen[c] = true
+				centers = append(centers, c)
+			}
+		}
+		sort.Ints(centers)
+		for _, c := range centers {
+			if rng.Float64() < sampleProb {
+				sampled[c] = true
+			}
+		}
+
+		newClusterOf := make([]int, n)
+		copy(newClusterOf, clusterOf)
+
+		for v := 0; v < n; v++ {
+			if clusterOf[v] < 0 || sampled[clusterOf[v]] {
+				continue // retired, or already inside a sampled cluster
+			}
+			// Group v's live edges by the neighbor's cluster, tracking the
+			// lightest edge to each cluster and the lightest sampled cluster.
+			best := make(map[int]int) // cluster center -> lightest edge ID
+			for _, he := range g.Adj(v) {
+				if !alive[he.ID] {
+					continue
+				}
+				c := clusterOf[he.To]
+				if c < 0 || c == clusterOf[v] {
+					continue
+				}
+				if cur, ok := best[c]; !ok || lighter(g, he.ID, cur) {
+					best[c] = he.ID
+				}
+			}
+			bestSampled := -1
+			for c, id := range best {
+				if sampled[c] && (bestSampled < 0 || lighter(g, id, best[bestSampled])) {
+					bestSampled = c
+				}
+			}
+
+			if bestSampled < 0 {
+				// No sampled neighbor: contribute the lightest edge to every
+				// adjacent cluster, discard all edges, and retire.
+				for c, id := range best {
+					addEdge(id)
+					discardEdgesToCluster(g, alive, clusterOf, v, c)
+				}
+				newClusterOf[v] = -1
+				continue
+			}
+			// Join the lightest sampled cluster.
+			joinEdge := best[bestSampled]
+			addEdge(joinEdge)
+			newClusterOf[v] = bestSampled
+			// Contribute the lightest edge to every cluster that beats the
+			// joining edge, discarding those edge groups; also discard edges
+			// into the joined cluster.
+			for c, id := range best {
+				if c == bestSampled {
+					continue
+				}
+				if lighter(g, id, joinEdge) {
+					addEdge(id)
+					discardEdgesToCluster(g, alive, clusterOf, v, c)
+				}
+			}
+			discardEdgesToCluster(g, alive, clusterOf, v, bestSampled)
+		}
+
+		clusterOf = newClusterOf
+		// Remove intra-cluster edges.
+		for id := range alive {
+			if !alive[id] {
+				continue
+			}
+			e := g.Edge(id)
+			cu, cv := clusterOf[e.U], clusterOf[e.V]
+			if cu >= 0 && cu == cv {
+				alive[id] = false
+			}
+		}
+	}
+
+	// Final phase: every vertex contributes its lightest live edge to each
+	// adjacent cluster.
+	for v := 0; v < n; v++ {
+		best := make(map[int]int)
+		for _, he := range g.Adj(v) {
+			if !alive[he.ID] {
+				continue
+			}
+			c := clusterOf[he.To]
+			if c < 0 {
+				continue
+			}
+			if cur, ok := best[c]; !ok || lighter(g, he.ID, cur) {
+				best[c] = he.ID
+			}
+		}
+		for c, id := range best {
+			addEdge(id)
+			discardEdgesToCluster(g, alive, clusterOf, v, c)
+		}
+	}
+	return h, nil
+}
+
+// lighter reports whether edge a is strictly lighter than edge b, breaking
+// weight ties by edge ID for determinism.
+func lighter(g *graph.Graph, a, b int) bool {
+	wa, wb := g.Weight(a), g.Weight(b)
+	if wa != wb {
+		return wa < wb
+	}
+	return a < b
+}
+
+// discardEdgesToCluster removes from the working set every live edge between
+// v and vertices currently in cluster c.
+func discardEdgesToCluster(g *graph.Graph, alive []bool, clusterOf []int, v, c int) {
+	for _, he := range g.Adj(v) {
+		if alive[he.ID] && clusterOf[he.To] == c {
+			alive[he.ID] = false
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package verify
+
+import (
+	"fmt"
+
+	"ftspanner/internal/graph"
+)
+
+// BlockingPair is one element of a blocking set: a vertex paired with an
+// edge it does not touch (Definition 2 of the paper).
+type BlockingPair struct {
+	V      int
+	EdgeID int
+}
+
+// CheckBlockingSet verifies the paper's Definition 2: the pairs form a
+// t-blocking set of h if for every (v, e) the vertex is not an endpoint of
+// the edge, and every cycle of h with at most t edges contains both members
+// of some pair. On failure it returns a witness cycle (vertex sequence).
+//
+// Cycle enumeration is exponential in t; intended for the small t = 2k of
+// the Lemma 6 audit (t ≤ 8) on test-sized graphs.
+func CheckBlockingSet(h *graph.Graph, pairs []BlockingPair, t int) (ok bool, witness []int, err error) {
+	if h == nil {
+		return false, nil, fmt.Errorf("verify: nil graph")
+	}
+	if t < 3 {
+		return false, nil, fmt.Errorf("verify: blocking set length bound must be >= 3, got %d", t)
+	}
+	// Index pairs: vertex -> set of edges it blocks.
+	blocks := make(map[int]map[int]bool)
+	for _, p := range pairs {
+		if p.EdgeID < 0 || p.EdgeID >= h.M() || p.V < 0 || p.V >= h.N() {
+			return false, nil, fmt.Errorf("verify: blocking pair (%d, %d) out of range", p.V, p.EdgeID)
+		}
+		e := h.Edge(p.EdgeID)
+		if p.V == e.U || p.V == e.V {
+			return false, nil, fmt.Errorf("verify: blocking pair (%d, %d) has the vertex on the edge", p.V, p.EdgeID)
+		}
+		if blocks[p.V] == nil {
+			blocks[p.V] = make(map[int]bool)
+		}
+		blocks[p.V][p.EdgeID] = true
+	}
+
+	covered := func(vs, es []int) bool {
+		for _, v := range vs {
+			edgeSet := blocks[v]
+			if edgeSet == nil {
+				continue
+			}
+			for _, e := range es {
+				if edgeSet[e] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	bad := forEachShortCycle(h, t, func(vs, es []int) bool {
+		return !covered(vs, es)
+	})
+	if bad != nil {
+		return false, bad, nil
+	}
+	return true, nil, nil
+}
+
+// forEachShortCycle enumerates the simple cycles of h with at most maxLen
+// edges and calls fn on each (vertex sequence and edge-ID sequence, cycle
+// not closed in the slices). It returns the first cycle for which fn
+// returns true, or nil. Each cycle is visited exactly once: the root is its
+// minimum vertex and the orientation is fixed by requiring the second
+// vertex to be smaller than the last.
+func forEachShortCycle(h *graph.Graph, maxLen int, fn func(vs, es []int) bool) []int {
+	n := h.N()
+	onPath := make([]bool, n)
+	var vs, es []int
+	var found []int
+
+	var dfs func(root, u int) bool
+	dfs = func(root, u int) bool {
+		for _, he := range h.Adj(u) {
+			v := he.To
+			if v == root && len(vs) >= 3 {
+				// Closing edge. Deduplicate orientation.
+				if vs[1] < vs[len(vs)-1] {
+					esAll := append(es, he.ID)
+					if fn(vs, esAll) {
+						found = append([]int(nil), vs...)
+						return true
+					}
+				}
+				continue
+			}
+			if v <= root || onPath[v] || len(vs) == maxLen {
+				continue
+			}
+			onPath[v] = true
+			vs = append(vs, v)
+			es = append(es, he.ID)
+			if dfs(root, v) {
+				return true
+			}
+			vs = vs[:len(vs)-1]
+			es = es[:len(es)-1]
+			onPath[v] = false
+		}
+		return false
+	}
+
+	for root := 0; root < n; root++ {
+		onPath[root] = true
+		vs = append(vs[:0], root)
+		es = es[:0]
+		if dfs(root, root) {
+			onPath[root] = false
+			return found
+		}
+		onPath[root] = false
+	}
+	return nil
+}

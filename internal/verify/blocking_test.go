@@ -1,0 +1,148 @@
+package verify
+
+import (
+	"testing"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+)
+
+func TestCheckBlockingSetValidation(t *testing.T) {
+	g := gen.Complete(4)
+	if _, _, err := CheckBlockingSet(nil, nil, 4); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, _, err := CheckBlockingSet(g, nil, 2); err == nil {
+		t.Error("t < 3 accepted")
+	}
+	if _, _, err := CheckBlockingSet(g, []BlockingPair{{V: 99, EdgeID: 0}}, 4); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, _, err := CheckBlockingSet(g, []BlockingPair{{V: 0, EdgeID: 99}}, 4); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	// Vertex on its own edge is not a legal pair (Definition 2).
+	e01, _ := g.EdgeBetween(0, 1)
+	if _, _, err := CheckBlockingSet(g, []BlockingPair{{V: 0, EdgeID: e01}}, 4); err == nil {
+		t.Error("pair with vertex on edge accepted")
+	}
+}
+
+func TestCheckBlockingSetTriangle(t *testing.T) {
+	// Triangle 0-1-2. The pair (2, edge{0,1}) blocks the only cycle.
+	g := gen.Complete(3)
+	e01, _ := g.EdgeBetween(0, 1)
+	ok, witness, err := CheckBlockingSet(g, []BlockingPair{{V: 2, EdgeID: e01}}, 3)
+	if err != nil || !ok {
+		t.Errorf("valid blocking set rejected: ok=%v witness=%v err=%v", ok, witness, err)
+	}
+	// Empty set does not block it.
+	ok, witness, err = CheckBlockingSet(g, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("empty set accepted as blocking set of a triangle")
+	}
+	if len(witness) != 3 {
+		t.Errorf("witness = %v, want the 3-cycle", witness)
+	}
+}
+
+func TestCheckBlockingSetLengthBound(t *testing.T) {
+	// C6 has only a 6-cycle: an empty set is a fine 5-blocking set but not
+	// a 6-blocking set.
+	g, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := CheckBlockingSet(g, nil, 5)
+	if err != nil || !ok {
+		t.Errorf("empty set should 5-block C6: ok=%v err=%v", ok, err)
+	}
+	ok, witness, err := CheckBlockingSet(g, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("empty set accepted as 6-blocking set of C6")
+	}
+	if len(witness) != 6 {
+		t.Errorf("witness length %d, want 6", len(witness))
+	}
+	// One pair on the cycle fixes it.
+	e, _ := g.EdgeBetween(0, 1)
+	ok, _, err = CheckBlockingSet(g, []BlockingPair{{V: 3, EdgeID: e}}, 6)
+	if err != nil || !ok {
+		t.Errorf("valid 6-blocking set of C6 rejected: %v %v", ok, err)
+	}
+}
+
+func TestCheckBlockingSetNeedsBothMembers(t *testing.T) {
+	// Two triangles sharing edge {0,1}: 0-1-2 and 0-1-3. A pair (2, {0,1})
+	// blocks the first but NOT the second (vertex 2 is not on it).
+	g := graph.New(4)
+	e01 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(3, 0)
+	ok, witness, err := CheckBlockingSet(g, []BlockingPair{{V: 2, EdgeID: e01}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("pair covering only one triangle accepted")
+	}
+	if len(witness) != 3 {
+		t.Errorf("witness = %v", witness)
+	}
+	pairs := []BlockingPair{{V: 2, EdgeID: e01}, {V: 3, EdgeID: e01}}
+	ok, _, err = CheckBlockingSet(g, pairs, 3)
+	if err != nil || !ok {
+		t.Errorf("full blocking set rejected: %v %v", ok, err)
+	}
+}
+
+func TestForEachShortCycleCounts(t *testing.T) {
+	// K4 has 4 triangles and 3 four-cycles.
+	g := gen.Complete(4)
+	count := 0
+	forEachShortCycle(g, 3, func(vs, es []int) bool {
+		count++
+		if len(vs) != 3 || len(es) != 3 {
+			t.Fatalf("bad cycle shape: %v %v", vs, es)
+		}
+		return false
+	})
+	if count != 4 {
+		t.Errorf("K4 triangle count = %d, want 4", count)
+	}
+	count = 0
+	forEachShortCycle(g, 4, func(vs, es []int) bool { count++; return false })
+	if count != 7 {
+		t.Errorf("K4 cycles up to length 4 = %d, want 7 (4 triangles + 3 squares)", count)
+	}
+	// Acyclic graph: no cycles at all.
+	forEachShortCycle(gen.Path(6), 6, func(vs, es []int) bool {
+		t.Fatalf("cycle found in a path: %v", vs)
+		return true
+	})
+}
+
+func TestForEachShortCycleEdgesMatch(t *testing.T) {
+	g := gen.Complete(5)
+	forEachShortCycle(g, 5, func(vs, es []int) bool {
+		if len(vs) != len(es) {
+			t.Fatalf("cycle %v has %d edges", vs, len(es))
+		}
+		for i := range vs {
+			u, v := vs[i], vs[(i+1)%len(vs)]
+			e := g.Edge(es[i])
+			if !((e.U == u && e.V == v) || (e.U == v && e.V == u)) {
+				t.Fatalf("edge %d of cycle %v is {%d,%d}, want {%d,%d}", i, vs, e.U, e.V, u, v)
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
+)
+
+// MaxStretch returns the maximum realized stretch of h relative to g under
+// the given fault set: max over all vertex pairs reachable in g \ F of
+// d_{H\F}(u,v) / d_{G\F}(u,v). It returns +Inf if some pair connected in
+// g \ F is disconnected in h \ F, and 1 if no pair at positive distance
+// exists. Cost: one Dijkstra per vertex on each graph.
+func MaxStretch(g, h *graph.Graph, faultIDs []int, mode lbc.Mode) (float64, error) {
+	ratios, err := pairStretches(g, h, faultIDs, mode, true)
+	if err != nil {
+		return 0, err
+	}
+	max := 1.0
+	for _, r := range ratios {
+		if r > max {
+			max = r
+		}
+	}
+	return max, nil
+}
+
+// EdgeStretches returns the realized stretch d_{H\F}(u,v) / d_{G\F}(u,v) for
+// every edge {u,v} of g that survives the fault set, in g's edge-ID order of
+// the surviving edges. This is the series plotted by experiment E12: for a
+// valid (2k-1)-spanner every value is at most 2k-1 (and d_{G\F} ≤ w makes
+// these the binding pairs).
+func EdgeStretches(g, h *graph.Graph, faultIDs []int, mode lbc.Mode) ([]float64, error) {
+	return pairStretches(g, h, faultIDs, mode, false)
+}
+
+func pairStretches(g, h *graph.Graph, faultIDs []int, mode lbc.Mode, allPairs bool) ([]float64, error) {
+	if err := validateInputs(g, h, 1, 0); err != nil {
+		return nil, err
+	}
+	ck, err := newChecker(g, h, 1, mode)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range faultIDs {
+		limit := g.N()
+		if mode == lbc.Edge {
+			limit = g.M()
+		}
+		if id < 0 || id >= limit {
+			return nil, fmt.Errorf("verify: fault ID %d out of range [0,%d)", id, limit)
+		}
+	}
+	ck.apply(faultIDs, true)
+	defer ck.apply(faultIDs, false)
+
+	var out []float64
+	for u := 0; u < g.N(); u++ {
+		if ck.blockedG.Vertex(u) {
+			continue
+		}
+		var gDist, hDist []float64
+		lazy := func() {
+			if gDist == nil {
+				gDist = sp.Dijkstra(g, u, ck.blockedG).Dist
+				hDist = sp.Dijkstra(h, u, ck.blockedH).Dist
+			}
+		}
+		if allPairs {
+			lazy()
+			for v := u + 1; v < g.N(); v++ {
+				if ck.blockedG.Vertex(v) || math.IsInf(gDist[v], 1) || gDist[v] == 0 {
+					continue
+				}
+				out = append(out, hDist[v]/gDist[v])
+			}
+			continue
+		}
+		for _, he := range g.Adj(u) {
+			v := he.To
+			if v < u || ck.blockedG.Edge(he.ID) || ck.blockedG.Vertex(v) {
+				continue
+			}
+			lazy()
+			if gDist[v] == 0 {
+				continue
+			}
+			out = append(out, hDist[v]/gDist[v])
+		}
+	}
+	return out, nil
+}

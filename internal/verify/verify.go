@@ -1,0 +1,287 @@
+// Package verify checks fault-tolerant spanner properties.
+//
+// The central check follows Lemma 3 of the paper (and its edge-fault analog):
+// H is an f-fault-tolerant t-spanner of G if and only if for every fault set
+// F with |F| ≤ f and every edge {u,v} of G that survives F,
+//
+//	d_{H\F}(u, v) ≤ t · w(u, v).
+//
+// ("Survives" means both endpoints are outside F for vertex faults, or the
+// edge itself is outside F for edge faults.) Sufficiency follows by summing
+// the per-edge guarantee along a shortest path of G \ F; necessity follows
+// because a surviving edge is itself a u-v path in G \ F, so
+// d_{G\F}(u,v) ≤ w(u,v). This reduces verification of one fault set from
+// all-pairs shortest paths on two graphs to single-source searches on H only.
+//
+// Exhaustive enumerates every fault set (sound and complete; exponential in
+// f, for small instances). Sampled draws random fault sets (sound violations,
+// probabilistic coverage, for large instances).
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftspanner/internal/combin"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
+)
+
+// relEps guards the weighted comparison d <= t*w against floating-point
+// round-off in summed path weights.
+const relEps = 1e-9
+
+// Violation describes a concrete failure of the spanner property: under
+// fault set FaultIDs, the surviving edge {U, V} has d_{H\F}(U,V) = Got,
+// exceeding the allowance Want = t·w(U,V).
+type Violation struct {
+	Mode     lbc.Mode
+	FaultIDs []int
+	U, V     int
+	Got      float64 // +Inf when u,v are disconnected in H \ F
+	Want     float64
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("verify: %v fault set %v: d_H\\F(%d,%d) = %v exceeds t*w = %v",
+		v.Mode, v.FaultIDs, v.U, v.V, v.Got, v.Want)
+}
+
+// Report summarizes a verification run.
+type Report struct {
+	// OK is true when no violation was found.
+	OK bool
+	// Violation is the first violation found (nil when OK).
+	Violation *Violation
+	// FaultSetsChecked counts fault sets examined.
+	FaultSetsChecked int64
+	// EdgeChecks counts (fault set, edge) pairs examined.
+	EdgeChecks int64
+}
+
+func validateInputs(g, h *graph.Graph, t float64, f int) error {
+	if g == nil || h == nil {
+		return fmt.Errorf("verify: nil graph")
+	}
+	if !h.IsSubgraphOf(g) {
+		return fmt.Errorf("verify: h is not a subgraph of g")
+	}
+	if t < 1 {
+		return fmt.Errorf("verify: stretch t must be >= 1, got %v", t)
+	}
+	if f < 0 {
+		return fmt.Errorf("verify: fault budget f must be >= 0, got %d", f)
+	}
+	return nil
+}
+
+// Exhaustive checks whether h is an f-fault-tolerant t-spanner of g under
+// the given fault mode by enumerating every fault set of size 0 through f.
+// For vertex faults the candidates are all vertices; for edge faults, all
+// edges of g. Cost is O(C(n, f)) fault sets, each verified in O(n·(m_h+n))
+// — use on small instances only.
+func Exhaustive(g, h *graph.Graph, t float64, f int, mode lbc.Mode) (Report, error) {
+	var rep Report
+	if err := validateInputs(g, h, t, f); err != nil {
+		return rep, err
+	}
+	ck, err := newChecker(g, h, t, mode)
+	if err != nil {
+		return rep, err
+	}
+	nCandidates := g.N()
+	if mode == lbc.Edge {
+		nCandidates = g.M()
+	}
+	ids := []int{}
+	combin.ForEachUpTo(nCandidates, f, func(idx []int) bool {
+		rep.FaultSetsChecked++
+		ids = append(ids[:0], idx...)
+		viol := ck.check(ids, &rep.EdgeChecks)
+		if viol != nil {
+			rep.Violation = viol
+			return true
+		}
+		return false
+	})
+	rep.OK = rep.Violation == nil
+	return rep, nil
+}
+
+// Sampled checks h against trials random fault sets of size exactly f (and
+// the empty fault set, always included). A returned violation is a definite
+// counterexample; OK means only that no violation was found among the
+// sampled sets.
+func Sampled(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *rand.Rand, trials int) (Report, error) {
+	var rep Report
+	if err := validateInputs(g, h, t, f); err != nil {
+		return rep, err
+	}
+	if trials < 0 {
+		return rep, fmt.Errorf("verify: trials must be >= 0, got %d", trials)
+	}
+	ck, err := newChecker(g, h, t, mode)
+	if err != nil {
+		return rep, err
+	}
+	nCandidates := g.N()
+	if mode == lbc.Edge {
+		nCandidates = g.M()
+	}
+	size := f
+	if size > nCandidates {
+		size = nCandidates
+	}
+	rep.FaultSetsChecked++
+	if viol := ck.check(nil, &rep.EdgeChecks); viol != nil {
+		rep.Violation = viol
+		rep.OK = false
+		return rep, nil
+	}
+	for i := 0; i < trials; i++ {
+		ids := combin.RandomSubset(rng, nCandidates, size)
+		rep.FaultSetsChecked++
+		if viol := ck.check(ids, &rep.EdgeChecks); viol != nil {
+			rep.Violation = viol
+			rep.OK = false
+			return rep, nil
+		}
+	}
+	rep.OK = true
+	return rep, nil
+}
+
+// CheckUnderFaults verifies the per-edge spanner condition for one explicit
+// fault set (vertex IDs or g-edge IDs per mode). It returns nil if the
+// condition holds and a *Violation otherwise.
+func CheckUnderFaults(g, h *graph.Graph, t float64, faultIDs []int, mode lbc.Mode) (*Violation, error) {
+	if err := validateInputs(g, h, t, 0); err != nil {
+		return nil, err
+	}
+	ck, err := newChecker(g, h, t, mode)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	return ck.check(faultIDs, &n), nil
+}
+
+// checker holds the reusable state for fault-set checks against a fixed
+// (g, h, t, mode).
+type checker struct {
+	g, h     *graph.Graph
+	t        float64
+	mode     lbc.Mode
+	hEdgeOf  []int // g edge ID -> h edge ID, or -1 (edge mode only)
+	blockedG sp.Blocked
+	blockedH sp.Blocked
+	hopBound int // BFS bound for unweighted graphs
+}
+
+func newChecker(g, h *graph.Graph, t float64, mode lbc.Mode) (*checker, error) {
+	ck := &checker{g: g, h: h, t: t, mode: mode}
+	switch mode {
+	case lbc.Vertex:
+		mask := make([]bool, g.N())
+		ck.blockedG = sp.Blocked{V: mask}
+		ck.blockedH = sp.Blocked{V: mask} // same vertex IDs in g and h
+	case lbc.Edge:
+		ck.blockedG = sp.Blocked{E: make([]bool, g.M())}
+		ck.blockedH = sp.Blocked{E: make([]bool, h.M())}
+		ck.hEdgeOf = make([]int, g.M())
+		for gid := range ck.hEdgeOf {
+			e := g.Edge(gid)
+			if hid, ok := h.EdgeBetween(e.U, e.V); ok {
+				ck.hEdgeOf[gid] = hid
+			} else {
+				ck.hEdgeOf[gid] = -1
+			}
+		}
+	default:
+		return nil, fmt.Errorf("verify: invalid fault mode %v", mode)
+	}
+	if !g.Weighted() {
+		// All weights are 1, so the allowance is exactly t hops.
+		ck.hopBound = int(t)
+	}
+	return ck, nil
+}
+
+// apply sets or clears the fault set in the blocked masks.
+func (ck *checker) apply(ids []int, val bool) {
+	for _, id := range ids {
+		switch ck.mode {
+		case lbc.Vertex:
+			ck.blockedG.V[id] = val
+		case lbc.Edge:
+			ck.blockedG.E[id] = val
+			if hid := ck.hEdgeOf[id]; hid >= 0 {
+				ck.blockedH.E[hid] = val
+			}
+		}
+	}
+}
+
+// check verifies the per-edge condition under the given fault set. It
+// restores the masks before returning.
+func (ck *checker) check(ids []int, edgeChecks *int64) *Violation {
+	ck.apply(ids, true)
+	defer ck.apply(ids, false)
+
+	g, h := ck.g, ck.h
+	for u := 0; u < g.N(); u++ {
+		if ck.blockedG.Vertex(u) {
+			continue
+		}
+		// Does u have any surviving g-edge to a higher-numbered endpoint?
+		// (Each edge is checked once, from its lower endpoint.)
+		needs := false
+		for _, he := range g.Adj(u) {
+			if he.To > u && !ck.blockedG.Edge(he.ID) && !ck.blockedG.Vertex(he.To) {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		var hopDist []int
+		var wDist []float64
+		if g.Weighted() {
+			wDist = sp.Dijkstra(h, u, ck.blockedH).Dist
+		} else {
+			hopDist = sp.BFSBounded(h, u, ck.hopBound, ck.blockedH).Dist
+		}
+		for _, he := range g.Adj(u) {
+			v := he.To
+			if v < u || ck.blockedG.Edge(he.ID) || ck.blockedG.Vertex(v) {
+				continue
+			}
+			*edgeChecks++
+			w := g.Weight(he.ID)
+			want := ck.t * w
+			var got float64
+			if g.Weighted() {
+				got = wDist[v]
+			} else {
+				if hopDist[v] == sp.Unreachable {
+					got = math.Inf(1)
+				} else {
+					got = float64(hopDist[v])
+				}
+			}
+			if got > want*(1+relEps) {
+				return &Violation{
+					Mode:     ck.mode,
+					FaultIDs: append([]int(nil), ids...),
+					U:        u, V: v,
+					Got:  got,
+					Want: want,
+				}
+			}
+		}
+	}
+	return nil
+}

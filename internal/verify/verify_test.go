@@ -1,0 +1,301 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+)
+
+func mustCycle(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := gen.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExhaustiveIdentitySpanner(t *testing.T) {
+	// h = g is an f-fault-tolerant 1-spanner of itself for every f.
+	g := gen.Complete(6)
+	rep, err := Exhaustive(g, g.Clone(), 1, 2, lbc.Vertex)
+	if err != nil {
+		t.Fatalf("Exhaustive: %v", err)
+	}
+	if !rep.OK {
+		t.Fatalf("identity spanner rejected: %v", rep.Violation)
+	}
+	if rep.FaultSetsChecked != 1+6+15 {
+		t.Errorf("fault sets checked = %d, want 22 (sizes 0,1,2)", rep.FaultSetsChecked)
+	}
+}
+
+func TestExhaustiveDetectsNonSpanner(t *testing.T) {
+	// C6 minus one edge: the removed edge's endpoints are 5 hops apart, so
+	// h is not even a 4-spanner with no faults.
+	g := mustCycle(t, 6)
+	h, err := g.Subgraph([]int{0, 1, 2, 3, 4}) // drop edge ID 5 = {5,0}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Exhaustive(g, h, 4, 0, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("4-spanner check passed on a graph with a 5-hop surviving edge")
+	}
+	v := rep.Violation
+	// The checker's BFS is bounded at t hops, so any distance beyond the
+	// allowance is reported as +Inf.
+	if v.U != 0 || v.V != 5 || v.Got <= 4 || v.Want != 4 {
+		t.Errorf("violation = %+v, want edge {0,5} with Got > Want = 4", v)
+	}
+	// t=5 passes.
+	rep, err = Exhaustive(g, h, 5, 0, lbc.Vertex)
+	if err != nil || !rep.OK {
+		t.Errorf("5-spanner check failed: %v %v", rep.Violation, err)
+	}
+}
+
+func TestExhaustiveVertexFaultViolation(t *testing.T) {
+	// K4 vs its spanning star at center 0: a fine 2-spanner with no faults,
+	// but killing the center disconnects the leaves.
+	g := gen.Complete(4)
+	h := graph.New(4)
+	h.MustAddEdge(0, 1)
+	h.MustAddEdge(0, 2)
+	h.MustAddEdge(0, 3)
+	rep, err := Exhaustive(g, h, 2, 0, lbc.Vertex)
+	if err != nil || !rep.OK {
+		t.Fatalf("star should be a 2-spanner of K4 with f=0: %v %v", rep.Violation, err)
+	}
+	rep, err = Exhaustive(g, h, 2, 1, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("star accepted as 1-VFT 2-spanner of K4")
+	}
+	v := rep.Violation
+	if len(v.FaultIDs) != 1 || v.FaultIDs[0] != 0 {
+		t.Errorf("violating fault set = %v, want [0] (the star center)", v.FaultIDs)
+	}
+	if !math.IsInf(v.Got, 1) {
+		t.Errorf("violation distance = %v, want +Inf (disconnection)", v.Got)
+	}
+}
+
+func TestExhaustiveEdgeFaultViolation(t *testing.T) {
+	// Triangle vs the path 0-1-2: fine for f=0 (t=2), violated when the
+	// shared edge {0,1} fails.
+	g := gen.Complete(3)
+	h := graph.New(3)
+	h.MustAddEdge(0, 1)
+	h.MustAddEdge(1, 2)
+	rep, err := Exhaustive(g, h, 2, 0, lbc.Edge)
+	if err != nil || !rep.OK {
+		t.Fatalf("path should be a 2-spanner of K3: %v %v", rep.Violation, err)
+	}
+	rep, err = Exhaustive(g, h, 2, 1, lbc.Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("path accepted as 1-EFT 2-spanner of K3")
+	}
+}
+
+func TestExhaustiveWeighted(t *testing.T) {
+	// Weighted triangle where dropping the heavy edge keeps stretch 1:
+	// w(0,1)=1, w(1,2)=1, w(0,2)=3; h = two light edges. The heavy edge's
+	// allowance is t*3 >= d_H = 2 already at t=1.
+	g := graph.NewWeighted(3)
+	g.MustAddEdgeW(0, 1, 1)
+	g.MustAddEdgeW(1, 2, 1)
+	g.MustAddEdgeW(0, 2, 3)
+	h := graph.NewWeighted(3)
+	h.MustAddEdgeW(0, 1, 1)
+	h.MustAddEdgeW(1, 2, 1)
+	rep, err := Exhaustive(g, h, 1, 0, lbc.Vertex)
+	if err != nil || !rep.OK {
+		t.Errorf("weighted 1-spanner rejected: %v %v", rep.Violation, err)
+	}
+	// But with one vertex fault (vertex 1), edge {0,2} must be served by h
+	// directly: violated.
+	rep, err = Exhaustive(g, h, 1, 1, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("h accepted as 1-VFT spanner despite losing {0,2} coverage")
+	}
+}
+
+func TestSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := gen.Complete(4)
+	h := graph.New(4)
+	h.MustAddEdge(0, 1)
+	h.MustAddEdge(0, 2)
+	h.MustAddEdge(0, 3)
+	// The center fault is 1 of 4 single-vertex sets; 60 trials find it whp.
+	rep, err := Sampled(g, h, 2, 1, lbc.Vertex, rng, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("sampled verification missed the center fault (possible but ~0 probability)")
+	}
+	// Valid spanner: sampling must pass.
+	rep, err = Sampled(g, g.Clone(), 1, 2, lbc.Vertex, rng, 40)
+	if err != nil || !rep.OK {
+		t.Errorf("sampled rejected identity spanner: %v %v", rep.Violation, err)
+	}
+	if _, err := Sampled(g, g.Clone(), 1, 1, lbc.Vertex, rng, -1); err == nil {
+		t.Error("negative trials accepted")
+	}
+}
+
+func TestSampledAlwaysChecksEmptyFaultSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	// Violation exists with NO faults: sampling must find it via the
+	// always-included empty set even with trials=0.
+	g := mustCycle(t, 8)
+	h, err := g.Subgraph([]int{0, 1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sampled(g, h, 3, 2, lbc.Vertex, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("empty-fault-set violation missed")
+	}
+}
+
+func TestCheckUnderFaults(t *testing.T) {
+	g := gen.Complete(4)
+	h := graph.New(4)
+	h.MustAddEdge(0, 1)
+	h.MustAddEdge(0, 2)
+	h.MustAddEdge(0, 3)
+	viol, err := CheckUnderFaults(g, h, 2, nil, lbc.Vertex)
+	if err != nil || viol != nil {
+		t.Errorf("no-fault check: viol=%v err=%v", viol, err)
+	}
+	viol, err = CheckUnderFaults(g, h, 2, []int{0}, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol == nil {
+		t.Fatal("center fault not detected")
+	}
+	if viol.Error() == "" {
+		t.Error("violation has empty error string")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.Complete(3)
+	big := gen.Complete(4)
+	if _, err := Exhaustive(g, big, 2, 1, lbc.Vertex); err == nil {
+		t.Error("h with different n accepted")
+	}
+	notSub := graph.New(3)
+	notSub.MustAddEdge(0, 1)
+	notSub.MustAddEdge(0, 2)
+	ok := g.Clone()
+	if _, err := Exhaustive(g, ok, 0.5, 1, lbc.Vertex); err == nil {
+		t.Error("t < 1 accepted")
+	}
+	if _, err := Exhaustive(g, ok, 2, -1, lbc.Vertex); err == nil {
+		t.Error("f < 0 accepted")
+	}
+	if _, err := Exhaustive(g, ok, 2, 1, lbc.Mode(9)); err == nil {
+		t.Error("bad mode accepted")
+	}
+	h := graph.New(3)
+	h.MustAddEdge(0, 1)
+	weirdWeights := graph.NewWeighted(3)
+	weirdWeights.MustAddEdgeW(0, 1, 7)
+	if _, err := Exhaustive(gen.UnitWeights(g), weirdWeights, 2, 0, lbc.Vertex); err == nil {
+		t.Error("h with mismatched edge weight accepted as subgraph")
+	}
+}
+
+func TestMaxStretch(t *testing.T) {
+	g := mustCycle(t, 6)
+	h, err := g.Subgraph([]int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := MaxStretch(g, h, nil, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 5 {
+		t.Errorf("MaxStretch = %v, want 5 (pair {0,5})", s)
+	}
+	// Identity: stretch exactly 1.
+	s, err = MaxStretch(g, g.Clone(), nil, lbc.Vertex)
+	if err != nil || s != 1 {
+		t.Errorf("identity MaxStretch = %v, %v", s, err)
+	}
+	// Disconnection under faults -> +Inf.
+	star := graph.New(4)
+	star.MustAddEdge(0, 1)
+	star.MustAddEdge(0, 2)
+	star.MustAddEdge(0, 3)
+	s, err = MaxStretch(gen.Complete(4), star, []int{0}, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(s, 1) {
+		t.Errorf("MaxStretch with disconnecting fault = %v, want +Inf", s)
+	}
+	if _, err := MaxStretch(g, h, []int{99}, lbc.Vertex); err == nil {
+		t.Error("out-of-range fault ID accepted")
+	}
+}
+
+func TestEdgeStretches(t *testing.T) {
+	g := mustCycle(t, 6)
+	h, err := g.Subgraph([]int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios, err := EdgeStretches(g, h, nil, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratios) != 6 {
+		t.Fatalf("got %d ratios, want 6 (one per surviving edge)", len(ratios))
+	}
+	fives := 0
+	for _, r := range ratios {
+		switch r {
+		case 1:
+		case 5:
+			fives++
+		default:
+			t.Errorf("unexpected edge stretch %v", r)
+		}
+	}
+	if fives != 1 {
+		t.Errorf("%d edges with stretch 5, want exactly 1 (the dropped edge)", fives)
+	}
+	// Under an edge fault the failed edge is excluded from the series.
+	ratios, err = EdgeStretches(g, g.Clone(), []int{0}, lbc.Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratios) != 5 {
+		t.Errorf("got %d ratios under edge fault, want 5", len(ratios))
+	}
+}

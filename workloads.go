@@ -1,0 +1,52 @@
+package ftspanner
+
+import (
+	"math/rand"
+
+	"ftspanner/internal/gen"
+)
+
+// Point is a point in the unit square returned by GeometricGraph.
+type Point = gen.Point
+
+// RandomGraph returns an Erdős–Rényi G(n, p) random graph.
+func RandomGraph(rng *rand.Rand, n int, p float64) (*Graph, error) {
+	return gen.GNP(rng, n, p)
+}
+
+// RandomConnectedGraph returns a connected G(n, p) sample, resampling up to
+// maxTries times.
+func RandomConnectedGraph(rng *rand.Rand, n int, p float64, maxTries int) (*Graph, error) {
+	return gen.GNPConnected(rng, n, p, maxTries)
+}
+
+// GeometricGraph returns a random geometric graph on n uniform points in the
+// unit square with connection radius r. If weighted, edge weights are the
+// Euclidean distances (the classical geometric-spanner setting).
+func GeometricGraph(rng *rand.Rand, n int, r float64, weighted bool) (*Graph, []Point, error) {
+	return gen.Geometric(rng, n, r, weighted)
+}
+
+// GridGraph returns the rows × cols grid.
+func GridGraph(rows, cols int) (*Graph, error) { return gen.Grid(rows, cols) }
+
+// TorusGraph returns the rows × cols torus.
+func TorusGraph(rows, cols int) (*Graph, error) { return gen.Torus(rows, cols) }
+
+// HypercubeGraph returns the d-dimensional hypercube on 2^d vertices.
+func HypercubeGraph(d int) (*Graph, error) { return gen.Hypercube(d) }
+
+// CompleteGraph returns K_n.
+func CompleteGraph(n int) *Graph { return gen.Complete(n) }
+
+// PreferentialAttachmentGraph returns a Barabási–Albert graph where each new
+// vertex attaches to `attach` existing vertices.
+func PreferentialAttachmentGraph(rng *rand.Rand, n, attach int) (*Graph, error) {
+	return gen.BarabasiAlbert(rng, n, attach)
+}
+
+// UniformWeights returns a weighted copy of g with independent uniform
+// weights in [lo, hi).
+func UniformWeights(rng *rand.Rand, g *Graph, lo, hi float64) (*Graph, error) {
+	return gen.UniformWeights(rng, g, lo, hi)
+}
