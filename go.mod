@@ -1,0 +1,3 @@
+module ftspanner
+
+go 1.24

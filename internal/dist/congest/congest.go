@@ -1,0 +1,593 @@
+// Package congest implements the paper's CONGEST-model constructions on the
+// internal/dist message-passing simulator.
+//
+// BaswanaSen is Theorem 14 of Dinitz–Robelle (PODC 2020): the distributed
+// Baswana–Sen (2k−1)-spanner, run as a genuine per-node protocol. Each
+// clustering phase i broadcasts the phase's sampling coins down the cluster
+// trees (clusters entering phase i have hop radius at most i−1, so i−1
+// rounds suffice), then spends one round exchanging (cluster, sampled) pairs
+// with neighbors and one round announcing join/retire decisions, spanner
+// edges, and edge discards. The schedule is data-independent, Σᵢ(i+1) + 2 =
+// O(k²) rounds, and every message is one cluster ID plus a few flag bits, so
+// it fits the B = Θ(log n) bandwidth of dist.Bandwidth: ChargedRounds equals
+// LogicalRounds. Expected size is O(k·n^(1+1/k)) and the (2k−1)-stretch
+// guarantee holds on every run.
+//
+// FTSpanner is Theorem 15: the Dinitz–Krauthgamer reduction (Theorem 13,
+// internal/dk11) with distributed Baswana–Sen as the base algorithm. All
+// O(f³·log n) iterations run simultaneously in the single O(k²)-round
+// lockstep schedule, each vertex participating in iteration j independently
+// with probability ~1/f. A naive serialization would cost
+// iterations × (LogicalRounds − 1) rounds; instead the engine's congestion
+// accounting charges each logical round ⌈load/B⌉ sub-rounds for the worst
+// per-edge bit load. Because an edge only carries traffic for the iterations
+// in which both endpoints participate (≈ 1/f² of them), the charged total is
+// far below the serialized bound — that gap is exactly the claim of
+// Theorem 15, O(f²(log f + log log n) + k²·f·log n) rounds whp instead of
+// O(k²·f³·log n).
+//
+// Randomness (participation and sampling coins) is derived by hashing a
+// public seed with vertex, iteration, and phase indices — the standard
+// shared-public-randomness assumption for distributed algorithms — so every
+// node can evaluate any coin locally and a run is a pure function of
+// (graph, k, f, iterations, seed).
+package congest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftspanner/internal/dist"
+	"ftspanner/internal/dk11"
+	"ftspanner/internal/graph"
+)
+
+// DefaultIterations returns the canonical Theorem 15 iteration count,
+// ⌈max(f³, 12)·ln n⌉ (see dk11.DefaultIterations).
+func DefaultIterations(n, f int) int { return dk11.DefaultIterations(n, f) }
+
+// BaswanaSen runs the Theorem 14 distributed Baswana–Sen (2k−1)-spanner on g
+// and returns the spanner with the engine's round accounting. Deterministic
+// in seed; the stretch guarantee holds on every run.
+func BaswanaSen(g *graph.Graph, k int, seed int64) (*graph.Graph, *dist.Result, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("congest: nil graph")
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("congest: stretch parameter k must be >= 1, got %d", k)
+	}
+	n := g.N()
+	cfg := &bsConfig{
+		g: g, k: k, seed: seed, iter: 0,
+		idBits:       dist.BitsForID(n),
+		tagBits:      0,
+		sampleProb:   sampleProb(n, k),
+		participates: func(int) bool { return true },
+	}
+	sch := schedule(k)
+	procs := make([]dist.Proc, n)
+	states := make([]*bsState, n)
+	for v := 0; v < n; v++ {
+		states[v] = newBSState(cfg, v)
+		procs[v] = &bsProc{state: states[v], sch: sch}
+	}
+	res, err := dist.Run(g, procs, len(sch), dist.Bandwidth(n))
+	if err != nil {
+		return nil, nil, fmt.Errorf("congest: %w", err)
+	}
+	return assemble(g, states), res, nil
+}
+
+// FTSpanner runs the Theorem 15 CONGEST construction on g: `iterations`
+// independent distributed Baswana–Sen instances (each over the random vertex
+// set of one DK11 iteration) multiplexed over one network in a single
+// lockstep schedule. iterations = 0 selects DefaultIterations(n, f). The
+// union is an f-VFT (2k−1)-spanner with high probability; the run is
+// deterministic in seed.
+func FTSpanner(g *graph.Graph, k, f, iterations int, seed int64) (*graph.Graph, *dist.Result, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("congest: nil graph")
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("congest: stretch parameter k must be >= 1, got %d", k)
+	}
+	if f < 1 {
+		return nil, nil, fmt.Errorf("congest: fault budget f must be >= 1, got %d", f)
+	}
+	if iterations < 0 {
+		return nil, nil, fmt.Errorf("congest: negative iteration count %d", iterations)
+	}
+	if iterations == 0 {
+		iterations = DefaultIterations(g.N(), f)
+	}
+	n := g.N()
+	prob := dk11.ParticipationProb(f)
+	// Sampling uses the expected participant count: the induced instance of
+	// one iteration has ~n·prob vertices, and that value is computable from
+	// public data (n, f) by every node.
+	expected := float64(n) * prob
+	if expected < 2 {
+		expected = 2
+	}
+	sch := schedule(k)
+	states := make([][]*bsState, iterations)
+	for it := 0; it < iterations; it++ {
+		it := it
+		cfg := &bsConfig{
+			g: g, k: k, seed: seed, iter: it,
+			idBits:     dist.BitsForID(n),
+			tagBits:    dist.BitsForID(iterations),
+			sampleProb: math.Pow(expected, -1.0/float64(k)),
+			participates: func(v int) bool {
+				return hashFloat(seed, streamPart, int64(it), int64(v)) < prob
+			},
+		}
+		states[it] = make([]*bsState, n)
+		for v := 0; v < n; v++ {
+			states[it][v] = newBSState(cfg, v)
+		}
+	}
+	procs := make([]dist.Proc, n)
+	for v := 0; v < n; v++ {
+		perIter := make([]*bsState, iterations)
+		for it := 0; it < iterations; it++ {
+			perIter[it] = states[it][v]
+		}
+		procs[v] = &muxProc{states: perIter, sch: sch}
+	}
+	res, err := dist.Run(g, procs, len(sch), dist.Bandwidth(n))
+	if err != nil {
+		return nil, nil, fmt.Errorf("congest: %w", err)
+	}
+	all := make([]*bsState, 0, n*iterations)
+	for _, iter := range states {
+		all = append(all, iter...)
+	}
+	return assemble(g, all), res, nil
+}
+
+// sampleProb is the Baswana–Sen cluster sampling probability n^(−1/k).
+func sampleProb(n, k int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return math.Pow(float64(n), -1.0/float64(k))
+}
+
+// assemble unions the edges marked by every node program into one spanner,
+// inserting in edge-ID order so equal runs produce byte-identical graphs.
+func assemble(g *graph.Graph, states []*bsState) *graph.Graph {
+	in := make([]bool, g.M())
+	for _, s := range states {
+		for _, id := range s.marked {
+			in[id] = true
+		}
+	}
+	h := g.EmptyLike()
+	for id := 0; id < g.M(); id++ {
+		if in[id] {
+			e := g.Edge(id)
+			h.MustAddEdgeW(e.U, e.V, e.W)
+		}
+	}
+	return h
+}
+
+// --- lockstep schedule --------------------------------------------------
+
+type stepKind int
+
+const (
+	stepBroadcast stepKind = iota // SAMP coins flow down cluster trees
+	stepExchange                  // neighbors swap (cluster, sampled)
+	stepNotify                    // join/retire decisions + spanner/discard flags
+	stepFinal                     // last-phase contributions + spanner marks
+	stepDrain                     // quiescent round consuming the last marks
+)
+
+type step struct {
+	kind  stepKind
+	phase int  // 1..k-1 during clustering, 0 for final/drain
+	first bool // first round of its phase: reset coins, centers flip
+}
+
+// schedule returns the data-independent round plan for stretch parameter k:
+// phase i = 1..k−1 takes (i−1) broadcast rounds plus exchange and notify,
+// then one final round and one drain round — O(k²) total.
+func schedule(k int) []step {
+	var sch []step
+	for i := 1; i < k; i++ {
+		for b := 1; b <= i-1; b++ {
+			sch = append(sch, step{stepBroadcast, i, b == 1})
+		}
+		sch = append(sch, step{stepExchange, i, i == 1})
+		sch = append(sch, step{stepNotify, i, false})
+	}
+	sch = append(sch, step{stepFinal, 0, false}, step{stepDrain, 0, false})
+	return sch
+}
+
+// --- per-node protocol state --------------------------------------------
+
+const (
+	kindSamp = iota
+	kindExchange
+	kindNotify
+	kindMark
+)
+
+const (
+	flagSampled = 1 // exchange: sender's cluster is sampled this phase
+	flagSpanner = 1 // notify/mark: sender put this edge in the spanner
+	flagRetired = 2 // notify: sender left the clustering
+	flagDiscard = 4 // notify: sender removed this edge from the working set
+	flagParent  = 8 // notify: receiver is the sender's new tree parent
+)
+
+// hash streams, mixed into the seed so participation and sampling coins are
+// independent.
+const (
+	streamPart = 0x70617274 // "part"
+	streamSamp = 0x73616d70 // "samp"
+)
+
+// bsConfig is the shared, public configuration of one Baswana–Sen instance.
+type bsConfig struct {
+	g            *graph.Graph
+	k            int
+	seed         int64
+	iter         int
+	idBits       int // bits to name a vertex/cluster
+	tagBits      int // bits naming the iteration when multiplexed
+	sampleProb   float64
+	participates func(v int) bool
+}
+
+// bsState is one node's view of one Baswana–Sen instance.
+type bsState struct {
+	*bsConfig
+	v       int
+	active  bool
+	retired bool
+	cluster int  // center ID of my cluster, -1 once retired
+	sampled bool // my cluster's coin for the current phase
+	// children are the neighbors whose cluster-tree parent I am; SAMP coins
+	// are forwarded along these links. Cleared on every cluster change —
+	// links from a dissolved cluster must not leak coins of the new one.
+	children     []int
+	dead         map[int]bool // edge IDs removed from the working set E'
+	neighCluster map[int]int  // neighbor vertex -> last announced cluster
+	recorded     map[int]bool
+	marked       []int // edge IDs this node placed in the spanner, in order
+}
+
+func newBSState(cfg *bsConfig, v int) *bsState {
+	s := &bsState{
+		bsConfig:     cfg,
+		v:            v,
+		active:       cfg.participates(v),
+		cluster:      v,
+		dead:         make(map[int]bool),
+		neighCluster: make(map[int]int),
+		recorded:     make(map[int]bool),
+	}
+	for _, he := range cfg.g.Adj(v) {
+		s.neighCluster[he.To] = he.To
+	}
+	return s
+}
+
+func (s *bsState) record(id int) {
+	if !s.recorded[id] {
+		s.recorded[id] = true
+		s.marked = append(s.marked, id)
+	}
+}
+
+// lighter reports whether edge a beats edge b (weight, then edge ID) —
+// weights are local knowledge, so no bits are spent transmitting them.
+func (s *bsState) lighter(a, b int) bool {
+	wa, wb := s.g.Weight(a), s.g.Weight(b)
+	if wa != wb {
+		return wa < wb
+	}
+	return a < b
+}
+
+// msg builds an outgoing message; total size is a 2-bit kind header, the
+// iteration tag when multiplexed, and the payload.
+func (s *bsState) msg(to, kind, a, flags, payloadBits int) dist.Message {
+	return dist.Message{
+		To: to, Kind: kind, A: a, Flags: flags, Iter: s.iter,
+		Bits: 2 + s.tagBits + payloadBits,
+	}
+}
+
+// coin is the public sampling coin of a cluster center for one phase.
+func (s *bsState) coin(phase, center int) bool {
+	return hashFloat(s.seed, streamSamp, int64(s.iter), int64(phase), int64(center)) < s.sampleProb
+}
+
+// step advances this node by one scheduled round. inbox holds only this
+// instance's messages.
+func (s *bsState) step(st step, inbox []dist.Message) []dist.Message {
+	if !s.active {
+		return nil
+	}
+	var out []dist.Message
+	var exch []dist.Message
+	for _, m := range inbox {
+		switch m.Kind {
+		case kindSamp:
+			if s.retired {
+				break
+			}
+			s.sampled = m.Flags&flagSampled != 0
+			for _, c := range s.children {
+				out = append(out, s.msg(c, kindSamp, 0, m.Flags&flagSampled, 1))
+			}
+		case kindExchange:
+			s.neighCluster[m.From] = m.A
+			exch = append(exch, m)
+		case kindNotify:
+			if m.Flags&flagRetired != 0 {
+				s.neighCluster[m.From] = -1
+			} else {
+				s.neighCluster[m.From] = m.A
+			}
+			if m.Flags&flagSpanner != 0 {
+				s.record(m.Edge)
+			}
+			if m.Flags&flagDiscard != 0 {
+				s.dead[m.Edge] = true
+			}
+			if m.Flags&flagParent != 0 {
+				s.children = append(s.children, m.From)
+			}
+			// An edge that just became intra-cluster is permanently out of
+			// the working set (both endpoints conclude this independently).
+			if s.cluster >= 0 && s.neighCluster[m.From] == s.cluster {
+				s.dead[m.Edge] = true
+			}
+		case kindMark:
+			s.record(m.Edge)
+		}
+	}
+	switch st.kind {
+	case stepBroadcast:
+		if st.first && !s.retired {
+			s.sampled = false
+			if s.cluster == s.v {
+				s.sampled = s.coin(st.phase, s.v)
+				for _, c := range s.children {
+					out = append(out, s.msg(c, kindSamp, 0, boolBit(s.sampled), 1))
+				}
+			}
+		}
+	case stepExchange:
+		if !s.retired {
+			if st.first {
+				// Phase 1: every cluster is a singleton, so the coin needs
+				// no broadcast.
+				s.sampled = s.cluster == s.v && s.coin(st.phase, s.v)
+			}
+			for _, he := range s.g.Adj(s.v) {
+				if s.dead[he.ID] || !s.participates(he.To) || s.neighCluster[he.To] == s.cluster {
+					continue
+				}
+				out = append(out, s.msg(he.To, kindExchange, s.cluster, boolBit(s.sampled), s.idBits+1))
+			}
+		}
+	case stepNotify:
+		if !s.retired && !s.sampled {
+			out = append(out, s.decide(exch)...)
+		}
+	case stepFinal:
+		out = append(out, s.final()...)
+	case stepDrain:
+	}
+	return out
+}
+
+// decide runs one vertex's phase decision — the distributed analog of the
+// per-vertex body of the sequential algorithm (internal/spanner.BaswanaSen):
+// join the lightest sampled neighboring cluster, or contribute the lightest
+// edge to every neighboring cluster and retire.
+func (s *bsState) decide(exch []dist.Message) []dist.Message {
+	best := make(map[int]int) // neighboring cluster -> lightest live edge
+	sampledCluster := make(map[int]bool)
+	for _, m := range exch {
+		if s.dead[m.Edge] {
+			continue
+		}
+		c := m.A
+		if c == s.cluster {
+			continue
+		}
+		if m.Flags&flagSampled != 0 {
+			sampledCluster[c] = true
+		}
+		if cur, ok := best[c]; !ok || s.lighter(m.Edge, cur) {
+			best[c] = m.Edge
+		}
+	}
+	clusters := make([]int, 0, len(best))
+	for c := range best {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	bestSampled := -1
+	for _, c := range clusters {
+		if sampledCluster[c] && (bestSampled < 0 || s.lighter(best[c], best[bestSampled])) {
+			bestSampled = c
+		}
+	}
+
+	mark := make(map[int]bool)
+	discard := make(map[int]bool)
+	parentEdge := -1
+	if bestSampled < 0 {
+		// No sampled neighbor: contribute to every neighboring cluster,
+		// drop all clustered edges, and retire.
+		for _, c := range clusters {
+			mark[best[c]] = true
+		}
+		for _, m := range exch {
+			if !s.dead[m.Edge] && m.A != s.cluster {
+				discard[m.Edge] = true
+			}
+		}
+		s.retired = true
+		s.cluster = -1
+		s.sampled = false
+	} else {
+		join := best[bestSampled]
+		mark[join] = true
+		parentEdge = join
+		lightGroup := make(map[int]bool) // clusters beating the join edge
+		for _, c := range clusters {
+			if c != bestSampled && s.lighter(best[c], join) {
+				mark[best[c]] = true
+				lightGroup[c] = true
+			}
+		}
+		for _, m := range exch {
+			if !s.dead[m.Edge] {
+				if m.A == bestSampled || lightGroup[m.A] {
+					discard[m.Edge] = true
+				}
+			}
+		}
+		s.cluster = bestSampled
+		s.sampled = true
+	}
+	s.children = s.children[:0]
+
+	var out []dist.Message
+	for _, he := range s.g.Adj(s.v) {
+		if s.dead[he.ID] || !s.participates(he.To) {
+			continue
+		}
+		flags := 0
+		if mark[he.ID] {
+			flags |= flagSpanner
+		}
+		if discard[he.ID] {
+			flags |= flagDiscard
+		}
+		if s.retired {
+			flags |= flagRetired
+		}
+		if he.ID == parentEdge {
+			flags |= flagParent
+		}
+		cluster := s.cluster
+		if s.retired {
+			cluster = 0
+		}
+		out = append(out, s.msg(he.To, kindNotify, cluster, flags, s.idBits+4))
+	}
+	markIDs := make([]int, 0, len(mark))
+	for id := range mark {
+		markIDs = append(markIDs, id)
+	}
+	sort.Ints(markIDs)
+	for _, id := range markIDs {
+		s.record(id)
+	}
+	for id := range discard {
+		s.dead[id] = true
+	}
+	return out
+}
+
+// final runs the last Baswana–Sen phase: every vertex — clustered or retired
+// — contributes its lightest live edge to each adjacent cluster.
+func (s *bsState) final() []dist.Message {
+	best := make(map[int]int)
+	for _, he := range s.g.Adj(s.v) {
+		if s.dead[he.ID] || !s.participates(he.To) {
+			continue
+		}
+		c := s.neighCluster[he.To]
+		if c < 0 || c == s.cluster {
+			continue
+		}
+		if cur, ok := best[c]; !ok || s.lighter(he.ID, cur) {
+			best[c] = he.ID
+		}
+	}
+	clusters := make([]int, 0, len(best))
+	for c := range best {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	var out []dist.Message
+	for _, c := range clusters {
+		id := best[c]
+		s.record(id)
+		e := s.g.Edge(id)
+		out = append(out, s.msg(e.Other(s.v), kindMark, 0, flagSpanner, 1))
+	}
+	return out
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- engine adapters ----------------------------------------------------
+
+// bsProc runs a single instance (Theorem 14).
+type bsProc struct {
+	state *bsState
+	sch   []step
+}
+
+func (p *bsProc) Step(round int, inbox []dist.Message) []dist.Message {
+	return p.state.step(p.sch[round-1], inbox)
+}
+
+// muxProc multiplexes one node's states across all Theorem 15 iterations:
+// the inbox is demultiplexed by iteration tag, every instance advances
+// through the same schedule, and the sends are merged onto the shared links.
+type muxProc struct {
+	states []*bsState
+	sch    []step
+}
+
+func (p *muxProc) Step(round int, inbox []dist.Message) []dist.Message {
+	byIter := make(map[int][]dist.Message)
+	for _, m := range inbox {
+		byIter[m.Iter] = append(byIter[m.Iter], m)
+	}
+	var out []dist.Message
+	for it, s := range p.states {
+		out = append(out, s.step(p.sch[round-1], byIter[it])...)
+	}
+	return out
+}
+
+// --- public-seed hashing ------------------------------------------------
+
+// hashFloat maps (seed, stream, indices...) to a uniform [0,1) value with a
+// splitmix64-style mixer: the shared public randomness every node evaluates
+// locally.
+func hashFloat(seed int64, stream int64, idx ...int64) float64 {
+	h := mix64(uint64(seed) ^ uint64(stream)*0x9e3779b97f4a7c15)
+	for _, v := range idx {
+		h = mix64(h ^ uint64(v))
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"testing"
+
+	"ftspanner/internal/graph"
+)
+
+// echoProc sends a fixed-size message to every neighbor each round up to
+// stopAfter, and records what it received.
+type echoProc struct {
+	g         *graph.Graph
+	v         int
+	bits      int
+	stopAfter int
+	got       []Message
+}
+
+func (p *echoProc) Step(round int, inbox []Message) []Message {
+	p.got = append(p.got, inbox...)
+	if round > p.stopAfter {
+		return nil
+	}
+	var out []Message
+	for _, he := range p.g.Adj(p.v) {
+		out = append(out, Message{To: he.To, A: p.v, Bits: p.bits})
+	}
+	return out
+}
+
+func path3() *graph.Graph {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	return g
+}
+
+func runEcho(t *testing.T, g *graph.Graph, bits, sendRounds, rounds, bandwidth int) ([]*echoProc, *Result) {
+	t.Helper()
+	procs := make([]Proc, g.N())
+	states := make([]*echoProc, g.N())
+	for v := 0; v < g.N(); v++ {
+		states[v] = &echoProc{g: g, v: v, bits: bits, stopAfter: sendRounds}
+		procs[v] = states[v]
+	}
+	res, err := Run(g, procs, rounds, bandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return states, res
+}
+
+func TestRunDeliversNextRound(t *testing.T) {
+	g := path3()
+	states, res := runEcho(t, g, 4, 1, 2, 16)
+	// Round 1: all 4 directed sends; round 2: deliveries, no sends.
+	if res.Messages != 4 {
+		t.Fatalf("Messages = %d, want 4", res.Messages)
+	}
+	if res.LogicalRounds != 2 {
+		t.Fatalf("LogicalRounds = %d, want 2", res.LogicalRounds)
+	}
+	// The middle vertex hears both endpoints, stamped with sender and edge.
+	got := states[1].got
+	if len(got) != 2 {
+		t.Fatalf("vertex 1 received %d messages, want 2", len(got))
+	}
+	if got[0].From != 0 || got[1].From != 2 {
+		t.Fatalf("senders = %d,%d, want 0,2 (sender-ID order)", got[0].From, got[1].From)
+	}
+	if got[0].Edge != 0 || got[1].Edge != 1 {
+		t.Fatalf("edges = %d,%d, want 0,1", got[0].Edge, got[1].Edge)
+	}
+	if got[0].A != 0 || got[1].A != 2 {
+		t.Fatalf("payloads = %d,%d, want sender IDs 0,2", got[0].A, got[1].A)
+	}
+}
+
+func TestRunChargesCongestion(t *testing.T) {
+	g := path3()
+	// 24-bit messages over 16-bit bandwidth: every sending round costs
+	// ceil(24/16) = 2 charged rounds; the quiescent rounds cost 1 each.
+	_, res := runEcho(t, g, 24, 2, 4, 16)
+	if res.MaxEdgeBitsPerRound != 24 {
+		t.Fatalf("MaxEdgeBitsPerRound = %d, want 24", res.MaxEdgeBitsPerRound)
+	}
+	if want := 2 + 2 + 1 + 1; res.ChargedRounds != want {
+		t.Fatalf("ChargedRounds = %d, want %d", res.ChargedRounds, want)
+	}
+	if res.LogicalRounds != 4 {
+		t.Fatalf("LogicalRounds = %d, want 4", res.LogicalRounds)
+	}
+	if res.TotalBits != int64(res.Messages*24) {
+		t.Fatalf("TotalBits = %d with %d messages", res.TotalBits, res.Messages)
+	}
+}
+
+func TestRunWithinBandwidthChargedEqualsLogical(t *testing.T) {
+	_, res := runEcho(t, path3(), 16, 3, 5, 16)
+	if res.ChargedRounds != res.LogicalRounds {
+		t.Fatalf("ChargedRounds = %d != LogicalRounds = %d", res.ChargedRounds, res.LogicalRounds)
+	}
+}
+
+type fnProc func(round int, inbox []Message) []Message
+
+func (f fnProc) Step(round int, inbox []Message) []Message { return f(round, inbox) }
+
+func TestRunRejectsBadSends(t *testing.T) {
+	g := path3()
+	bad := func(m Message) []Proc {
+		procs := make([]Proc, g.N())
+		for v := range procs {
+			procs[v] = fnProc(func(int, []Message) []Message { return nil })
+		}
+		procs[0] = fnProc(func(int, []Message) []Message { return []Message{m} })
+		return procs
+	}
+	if _, err := Run(g, bad(Message{To: 2, Bits: 1}), 1, 16); err == nil {
+		t.Error("send to non-neighbor not rejected")
+	}
+	if _, err := Run(g, bad(Message{To: 1, Bits: 0}), 1, 16); err == nil {
+		t.Error("zero-bit message not rejected")
+	}
+	if _, err := Run(g, []Proc{nil}, 1, 16); err == nil {
+		t.Error("proc/vertex count mismatch not rejected")
+	}
+	if _, err := Run(nil, nil, 1, 16); err == nil {
+		t.Error("nil graph not rejected")
+	}
+	if _, err := Run(g, bad(Message{To: 1, Bits: 1}), 1, 0); err == nil {
+		t.Error("zero bandwidth not rejected")
+	}
+	if _, err := Run(g, bad(Message{To: 1, Bits: 1}), -1, 16); err == nil {
+		t.Error("negative round count not rejected")
+	}
+}
+
+func TestBitsForID(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {128, 7}, {129, 8}, {1 << 20, 20},
+	} {
+		if got := BitsForID(tc.n); got != tc.want {
+			t.Errorf("BitsForID(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBandwidthIsLogarithmic(t *testing.T) {
+	if b := Bandwidth(2); b < 16 {
+		t.Errorf("Bandwidth(2) = %d below the floor", b)
+	}
+	if b := Bandwidth(1 << 16); b != 64 {
+		t.Errorf("Bandwidth(65536) = %d, want 64", b)
+	}
+}
