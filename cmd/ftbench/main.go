@@ -1,15 +1,24 @@
 // Command ftbench regenerates the paper-reproduction experiment tables
-// (E1–E14, see DESIGN.md §4 and EXPERIMENTS.md).
+// (E1–E14). The experiment registry lives in internal/bench (bench.All);
+// the README's experiment table summarizes what each ID measures.
 //
 // Usage:
 //
-//	ftbench [-experiment E7] [-quick] [-seed 12345] [-out results]
+//	ftbench [-experiment E7] [-quick] [-seed 12345] [-out results] [-parallel P] [-json]
 //
 // With no -experiment flag, every registered experiment runs. Each table is
 // printed to stdout and written to <out>/<ID>.txt.
+//
+// -json switches to the performance-trajectory harness instead: it
+// measures the hot paths (LBC decide on a warm searcher, modified greedy,
+// sequential vs parallel exhaustive verification and exact greedy) plus
+// spanner sizes against the Theorem 8 bound, and writes the snapshot as
+// machine-readable BENCH_core.json in the -out directory, so successive
+// PRs can diff performance.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,11 +39,13 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
 	var (
-		id    = fs.String("experiment", "", "run a single experiment by ID (e.g. E7); empty = all")
-		quick = fs.Bool("quick", false, "shrink sweeps to CI size")
-		seed  = fs.Int64("seed", 12345, "random seed (runs are deterministic per seed)")
-		out   = fs.String("out", "results", "directory for per-experiment table files (empty = stdout only)")
-		list  = fs.Bool("list", false, "list experiments and exit")
+		id       = fs.String("experiment", "", "run a single experiment by ID (e.g. E7); empty = all")
+		quick    = fs.Bool("quick", false, "shrink sweeps to CI size")
+		seed     = fs.Int64("seed", 12345, "random seed (runs are deterministic per seed)")
+		out      = fs.String("out", "results", "directory for per-experiment table files (empty = stdout only)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		jsonOut  = fs.Bool("json", false, "run the perf harness and write BENCH_core.json instead of the tables")
+		parallel = fs.Int("parallel", 0, "worker goroutines for the -json parallel measurement points (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +56,10 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
+	}
+
+	if *jsonOut {
+		return runJSON(bench.Config{Seed: *seed, Quick: *quick, Parallelism: *parallel}, *out, stdout)
 	}
 
 	var exps []bench.Experiment
@@ -64,7 +79,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	cfg := bench.Config{Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	for _, e := range exps {
 		start := time.Now()
 		table, err := e.Run(cfg)
@@ -81,5 +96,37 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// runJSON runs the perf harness and writes <out>/BENCH_core.json. An empty
+// out means stdout only, matching the table mode: the JSON itself is
+// printed instead of a summary.
+func runJSON(cfg bench.Config, out string, stdout io.Writer) error {
+	res, err := bench.RunCoreBench(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	path := filepath.Join(out, "BENCH_core.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	for _, b := range res.Benchmarks {
+		fmt.Fprintf(stdout, "%-28s %14.0f ns/op %8.1f allocs/op\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+	}
+	fmt.Fprintf(stdout, "verify speedup p%d vs p1: %.2fx\n", res.Parallelism, res.VerifySpeedup)
+	fmt.Fprintf(stdout, "wrote %s (%.1fs)\n", path, res.ElapsedSec)
 	return nil
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ftspanner/internal/bench"
 )
 
 func TestList(t *testing.T) {
@@ -46,6 +49,76 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestJSONHarness: `ftbench -quick -json` must emit a decodable
+// BENCH_core.json with the measured hot paths and size points.
+func TestJSONHarness(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-json", "-parallel", "2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_core.json"))
+	if err != nil {
+		t.Fatalf("BENCH_core.json not written: %v", err)
+	}
+	var res bench.CoreBench
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_core.json is not valid JSON: %v", err)
+	}
+	if res.Schema != bench.CoreBenchSchema {
+		t.Errorf("schema = %q, want %q", res.Schema, bench.CoreBenchSchema)
+	}
+	if len(res.Benchmarks) == 0 || len(res.Spanners) == 0 {
+		t.Errorf("empty harness output: %d benchmarks, %d spanners", len(res.Benchmarks), len(res.Spanners))
+	}
+	names := make(map[string]bench.BenchPoint)
+	for _, b := range res.Benchmarks {
+		if b.NsPerOp <= 0 || b.Iterations <= 0 {
+			t.Errorf("%s: implausible measurement %+v", b.Name, b)
+		}
+		names[b.Name] = b
+	}
+	warm, ok := names["lbc_decide_warm_searcher"]
+	if !ok {
+		t.Fatal("missing lbc_decide_warm_searcher point")
+	}
+	if warm.AllocsPerOp != 0 {
+		t.Errorf("lbc_decide_warm_searcher allocs/op = %v, want 0", warm.AllocsPerOp)
+	}
+	if _, ok := names["verify_exhaustive_p2"]; !ok {
+		t.Error("missing verify_exhaustive_p2 point (requested -parallel 2)")
+	}
+	if res.VerifySpeedup <= 0 {
+		t.Errorf("verify speedup = %v, want > 0", res.VerifySpeedup)
+	}
+	for _, sp := range res.Spanners {
+		if sp.Edges <= 0 || sp.SizeBound <= 0 || sp.Ratio <= 0 {
+			t.Errorf("implausible spanner point %+v", sp)
+		}
+	}
+}
+
+// TestDocsReferenceRealFiles is the regression test for the doc-comment
+// bugfix: the package comment used to cite DESIGN.md §4 and EXPERIMENTS.md,
+// neither of which exists in the repo. It must point at the real experiment
+// registry (internal/bench) and the README instead.
+func TestDocsReferenceRealFiles(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ghost := range []string{"DESIGN.md", "EXPERIMENTS.md"} {
+		if bytes.Contains(src, []byte(ghost)) {
+			t.Errorf("main.go still references %s, which does not exist in the repo", ghost)
+		}
+	}
+	for _, real := range []string{"internal/bench", "README"} {
+		if !bytes.Contains(src, []byte(real)) {
+			t.Errorf("main.go docs should point at %s", real)
+		}
 	}
 }
 

@@ -5,11 +5,13 @@
 // Usage:
 //
 //	ftspanner -k 2 -f 2 [-mode vertex|edge] [-algorithm modified|exact|dk11|local|congest|greedy|baswana-sen]
-//	          [-in graph.txt] [-out spanner.txt] [-verify N] [-seed 1]
+//	          [-in graph.txt] [-out spanner.txt] [-verify N] [-seed 1] [-parallel P]
 //
 // The default algorithm is the paper's polynomial-time modified greedy.
 // Construction statistics go to stderr; -verify N additionally checks the
-// result against N random fault sets.
+// result against N random fault sets. -parallel sets the worker count for
+// the exact greedy's fault-set search and for verification (0 = all cores);
+// results are identical for every worker count.
 package main
 
 import (
@@ -33,14 +35,15 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ftspanner", flag.ContinueOnError)
 	var (
-		k      = fs.Int("k", 2, "stretch parameter; the spanner has stretch 2k-1")
-		f      = fs.Int("f", 1, "fault budget (number of simultaneous failures tolerated)")
-		mode   = fs.String("mode", "vertex", "fault mode: vertex or edge")
-		algo   = fs.String("algorithm", "modified", "modified | exact | dk11 | local | congest | greedy | baswana-sen")
-		inFile = fs.String("in", "", "input graph file (default stdin)")
-		out    = fs.String("out", "", "output spanner file (default stdout)")
-		trials = fs.Int("verify", 0, "verify the output against N random fault sets")
-		seed   = fs.Int64("seed", 1, "seed for randomized algorithms and verification")
+		k        = fs.Int("k", 2, "stretch parameter; the spanner has stretch 2k-1")
+		f        = fs.Int("f", 1, "fault budget (number of simultaneous failures tolerated)")
+		mode     = fs.String("mode", "vertex", "fault mode: vertex or edge")
+		algo     = fs.String("algorithm", "modified", "modified | exact | dk11 | local | congest | greedy | baswana-sen")
+		inFile   = fs.String("in", "", "input graph file (default stdin)")
+		out      = fs.String("out", "", "output spanner file (default stdout)")
+		trials   = fs.Int("verify", 0, "verify the output against N random fault sets")
+		seed     = fs.Int64("seed", 1, "seed for randomized algorithms and verification")
+		parallel = fs.Int("parallel", 0, "worker goroutines for exact greedy and verification (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +73,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	opts := ftspanner.Options{K: *k, F: *f, Mode: fmode}
+	opts := ftspanner.Options{K: *k, F: *f, Mode: fmode, Parallelism: *parallel}
 	rng := rand.New(rand.NewSource(*seed))
 	start := time.Now()
 	var h *ftspanner.Graph
@@ -120,7 +123,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		g, h.M(), 100*float64(h.M())/float64(max(1, g.M())), opts.Stretch(), *f, *mode, elapsed.Round(time.Millisecond))
 
 	if *trials > 0 {
-		rep, err := ftspanner.VerifySampled(g, h, float64(opts.Stretch()), *f, fmode, rng, *trials)
+		rep, err := ftspanner.VerifySampledParallel(g, h, float64(opts.Stretch()), *f, fmode, rng, *trials, *parallel)
 		if err != nil {
 			return err
 		}

@@ -41,6 +41,7 @@ import (
 	"ftspanner/internal/dk11"
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
 	"ftspanner/internal/spanner"
 	"ftspanner/internal/verify"
 )
@@ -89,14 +90,25 @@ type Options struct {
 	F int
 	// Mode selects vertex or edge faults. Zero value means VertexFaults.
 	Mode FaultMode
+	// Parallelism is the number of worker goroutines used by the
+	// embarrassingly-parallel phases (BuildExact's per-edge fault-set
+	// search; the Verify* functions take it as an explicit argument
+	// instead). 0 selects GOMAXPROCS; 1 forces the sequential path.
+	// Results are byte-identical for every value.
+	Parallelism int
 }
 
-func (o Options) mode() FaultMode {
-	if o.Mode == 0 {
+// normalizeMode maps the zero FaultMode to VertexFaults, so that the
+// documented "zero value means VertexFaults" holds at every top-level entry
+// point, not just the ones routed through Options.
+func normalizeMode(m FaultMode) FaultMode {
+	if m == 0 {
 		return VertexFaults
 	}
-	return o.Mode
+	return m
 }
+
+func (o Options) mode() FaultMode { return normalizeMode(o.Mode) }
 
 // Stretch returns the stretch 2K-1 the options request.
 func (o Options) Stretch() int { return core.Stretch(o.K) }
@@ -109,13 +121,33 @@ func Build(g *Graph, opts Options) (*Graph, Stats, error) {
 	return core.ModifiedGreedy(g, opts.K, opts.F, opts.mode())
 }
 
+// Searcher is a reusable shortest-path engine holding all the scratch the
+// constructions' inner BFS/Dijkstra queries need. Build allocates one per
+// call; callers constructing many spanners can allocate one with
+// NewSearcher and pass it to BuildWith so the scratch is reused across
+// builds. A Searcher is not safe for concurrent use.
+type Searcher = sp.Searcher
+
+// NewSearcher returns a Searcher preallocated for graphs with up to n
+// vertices and m edges; it grows on demand beyond that.
+func NewSearcher(n, m int) *Searcher { return sp.NewSearcher(n, m) }
+
+// BuildWith is Build reusing the scratch of s across the construction (nil
+// s behaves like Build). The construction's hot loop performs no per-edge
+// heap allocation on a warm searcher.
+func BuildWith(s *Searcher, g *Graph, opts Options) (*Graph, Stats, error) {
+	return core.ModifiedGreedyWith(s, g, opts.K, opts.F, opts.mode())
+}
+
 // BuildExact constructs the spanner with the original exponential-time
 // greedy (Algorithm 1), whose size is fully optimal,
 // O(f^(1-1/k)·n^(1+1/k)). Its edge test enumerates all C(n, F) fault sets —
 // use only on small instances (the paper's open problem that Build answers
-// was precisely avoiding this cost).
+// was precisely avoiding this cost). The fault-set enumeration is sharded
+// across Options.Parallelism workers; the result is byte-identical for
+// every worker count.
 func BuildExact(g *Graph, opts Options) (*Graph, Stats, error) {
-	return core.ExactGreedy(g, opts.K, opts.F, opts.mode())
+	return core.ExactGreedyParallel(g, opts.K, opts.F, opts.mode(), opts.Parallelism)
 }
 
 // SizeBound returns the Theorem 8 size bound k·f^(1-1/k)·n^(1+1/k) (without
@@ -193,14 +225,29 @@ type Violation = verify.Violation
 // whether h is an f-fault-tolerant t-spanner of g. Exponential in f; for
 // large instances use VerifySampled.
 func Verify(g, h *Graph, t float64, f int, mode FaultMode) (VerifyReport, error) {
-	return verify.Exhaustive(g, h, t, f, mode)
+	return verify.Exhaustive(g, h, t, f, normalizeMode(mode))
+}
+
+// VerifyParallel is Verify with the fault sets sharded across parallelism
+// worker goroutines (0 selects GOMAXPROCS). The report matches Verify's:
+// same outcome and same first violation for every worker count.
+func VerifyParallel(g, h *Graph, t float64, f int, mode FaultMode, parallelism int) (VerifyReport, error) {
+	return verify.ExhaustiveParallel(g, h, t, f, normalizeMode(mode), parallelism)
 }
 
 // VerifySampled checks h against the empty fault set plus trials random
 // fault sets of size f. A reported violation is definite; OK is evidence,
 // not proof.
 func VerifySampled(g, h *Graph, t float64, f int, mode FaultMode, rng *rand.Rand, trials int) (VerifyReport, error) {
-	return verify.Sampled(g, h, t, f, mode, rng, trials)
+	return verify.Sampled(g, h, t, f, normalizeMode(mode), rng, trials)
+}
+
+// VerifySampledParallel is VerifySampled sharded across parallelism worker
+// goroutines (0 selects GOMAXPROCS); trial sets are drawn from rng in the
+// same order as VerifySampled, and the reported violation is the one of the
+// lowest trial index.
+func VerifySampledParallel(g, h *Graph, t float64, f int, mode FaultMode, rng *rand.Rand, trials int, parallelism int) (VerifyReport, error) {
+	return verify.SampledParallel(g, h, t, f, normalizeMode(mode), rng, trials, parallelism)
 }
 
 // MaxStretch measures the worst realized stretch of h against g after
@@ -208,5 +255,5 @@ func VerifySampled(g, h *Graph, t float64, f int, mode FaultMode, rng *rand.Rand
 // surviving vertex pairs of d_{H\F}/d_{G\F}, +Inf if h disconnects a pair
 // that g keeps connected.
 func MaxStretch(g, h *Graph, faultIDs []int, mode FaultMode) (float64, error) {
-	return verify.MaxStretch(g, h, faultIDs, mode)
+	return verify.MaxStretch(g, h, faultIDs, normalizeMode(mode))
 }

@@ -78,6 +78,91 @@ func TestDefaultModeIsVertexFaults(t *testing.T) {
 	}
 }
 
+// TestZeroModeNormalizedEverywhere is the regression test for the API
+// inconsistency where the zero FaultMode was accepted by Build (treated as
+// VertexFaults) but rejected with "invalid fault mode" when passed directly
+// to Verify, VerifySampled, or MaxStretch. Every top-level entry point must
+// normalize the zero value the same way.
+func TestZeroModeNormalizedEverywhere(t *testing.T) {
+	g := CompleteGraph(8)
+	h, _, err := Build(g, Options{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero FaultMode // the documented "zero value means VertexFaults"
+
+	rep, err := Verify(g, h, 3, 1, zero)
+	if err != nil {
+		t.Fatalf("Verify rejected the zero FaultMode: %v", err)
+	}
+	want, err := Verify(g, h, 3, 1, VertexFaults)
+	if err != nil || rep.OK != want.OK || rep.FaultSetsChecked != want.FaultSetsChecked {
+		t.Errorf("Verify zero-mode report %+v differs from VertexFaults %+v (err %v)", rep, want, err)
+	}
+
+	if _, err := VerifyParallel(g, h, 3, 1, zero, 2); err != nil {
+		t.Errorf("VerifyParallel rejected the zero FaultMode: %v", err)
+	}
+	if _, err := VerifySampled(g, h, 3, 1, zero, rand.New(rand.NewSource(1)), 5); err != nil {
+		t.Errorf("VerifySampled rejected the zero FaultMode: %v", err)
+	}
+	if _, err := VerifySampledParallel(g, h, 3, 1, zero, rand.New(rand.NewSource(1)), 5, 2); err != nil {
+		t.Errorf("VerifySampledParallel rejected the zero FaultMode: %v", err)
+	}
+
+	got, err := MaxStretch(g, h, []int{0}, zero)
+	if err != nil {
+		t.Fatalf("MaxStretch rejected the zero FaultMode: %v", err)
+	}
+	wantStretch, err := MaxStretch(g, h, []int{0}, VertexFaults)
+	if err != nil || got != wantStretch {
+		t.Errorf("MaxStretch zero-mode = %v, VertexFaults = %v (err %v)", got, wantStretch, err)
+	}
+}
+
+// TestBuildWithSearcherReuse: the public reuse pattern — one Searcher
+// across many Build calls — must produce the same spanners as Build.
+func TestBuildWithSearcherReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSearcher(0, 0)
+	for trial := 0; trial < 3; trial++ {
+		g, err := RandomGraph(rng, 24, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := Build(g, Options{K: 2, F: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := BuildWith(s, g, Options{K: 2, F: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsSubgraphOf(want) || !want.IsSubgraphOf(got) {
+			t.Fatalf("trial %d: BuildWith differs from Build", trial)
+		}
+	}
+}
+
+// TestParallelismKnobEquivalence: BuildExact output is identical for every
+// Options.Parallelism value.
+func TestParallelismKnobEquivalence(t *testing.T) {
+	g := CompleteGraph(9)
+	want, _, err := BuildExact(g, Options{K: 2, F: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 2, 4} {
+		got, _, err := BuildExact(g, Options{K: 2, F: 1, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsSubgraphOf(want) || !want.IsSubgraphOf(got) {
+			t.Errorf("Parallelism=%d: spanner differs from sequential", p)
+		}
+	}
+}
+
 func TestBuildExactSmall(t *testing.T) {
 	g := CompleteGraph(10)
 	exact, _, err := BuildExact(g, Options{K: 2, F: 1})

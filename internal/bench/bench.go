@@ -2,9 +2,11 @@
 //
 // The paper (PODC 2020 theory) has no empirical section, so the "tables and
 // figures" this harness regenerates are its quantitative claims: every
-// theorem's size, time, or round bound becomes an experiment that measures
-// the claimed quantity and prints the rows DESIGN.md §4 indexes (E1–E14).
-// cmd/ftbench renders them; EXPERIMENTS.md records claim vs measured.
+// theorem's size, time, or round bound becomes an experiment (E1–E14) that
+// measures the claimed quantity; the All registry below is the experiment
+// index, and the README's experiment table summarizes what each one checks.
+// cmd/ftbench renders the tables; RunCoreBench additionally snapshots the
+// hot-path performance numbers as BENCH_core.json.
 //
 // Experiments are deterministic in Config.Seed. Config.Quick shrinks sweeps
 // for CI; the full sweep is the default.
@@ -26,6 +28,10 @@ type Config struct {
 	Seed int64
 	// Quick shrinks the sweeps (CI-sized).
 	Quick bool
+	// Parallelism is the worker count used by the parallel measurement
+	// points of RunCoreBench (0 = GOMAXPROCS). The table experiments are
+	// sequential regardless, so their rows stay comparable across machines.
+	Parallelism int
 }
 
 // Table is one rendered experiment result.

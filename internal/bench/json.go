@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"ftspanner/internal/core"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
+	"ftspanner/internal/verify"
+)
+
+// CoreBench is the machine-readable performance snapshot written by
+// `ftbench -json` as BENCH_core.json. Future PRs diff these files to show
+// perf trajectories: ns/op and allocs/op of the hot paths, the parallel
+// verification speedup, and measured spanner sizes against the Theorem 8
+// bound.
+type CoreBench struct {
+	Schema      string  `json:"schema"`
+	GoVersion   string  `json:"go_version"`
+	GoMaxProcs  int     `json:"go_max_procs"`
+	Quick       bool    `json:"quick"`
+	Seed        int64   `json:"seed"`
+	Parallelism int     `json:"parallelism"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+
+	// Benchmarks are the micro-benchmarks, one per hot path.
+	Benchmarks []BenchPoint `json:"benchmarks"`
+	// VerifySpeedup is ns/op of verify_exhaustive_p1 divided by ns/op of
+	// verify_exhaustive_p<Parallelism> — the parallel verification speedup
+	// (1.0 on a single-core runner or with Parallelism 1).
+	VerifySpeedup float64 `json:"verify_speedup_parallel_vs_serial"`
+	// Spanners are measured sizes against the Theorem 8 SizeBound.
+	Spanners []SpannerPoint `json:"spanners"`
+}
+
+// BenchPoint is one measured hot path.
+type BenchPoint struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// SpannerPoint records one spanner-size measurement vs the Theorem 8 bound.
+type SpannerPoint struct {
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	K         int     `json:"k"`
+	F         int     `json:"f"`
+	Edges     int     `json:"edges"`
+	SizeBound float64 `json:"size_bound"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// CoreBenchSchema identifies the BENCH_core.json layout; bump on breaking
+// changes so downstream diff tooling can detect them.
+const CoreBenchSchema = "ftbench/core/v1"
+
+// measureNs times fn by doubling the iteration count until the measured
+// window is long enough to be stable, then reports ns per call.
+func measureNs(target time.Duration, fn func()) (nsPerOp float64, iters int64) {
+	fn() // warm caches and scratch buffers
+	n := int64(1)
+	for {
+		start := time.Now()
+		for i := int64(0); i < n; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= target || n >= 1<<30 {
+			return float64(elapsed.Nanoseconds()) / float64(n), n
+		}
+		if elapsed <= 0 {
+			n *= 128
+		} else {
+			n *= 2
+		}
+	}
+}
+
+func benchPoint(name string, target time.Duration, fn func()) BenchPoint {
+	ns, iters := measureNs(target, fn)
+	return BenchPoint{
+		Name:        name,
+		NsPerOp:     ns,
+		AllocsPerOp: testing.AllocsPerRun(5, fn),
+		Iterations:  iters,
+	}
+}
+
+// RunCoreBench measures the hot paths and size points for BENCH_core.json.
+// cfg.Parallelism (0 = GOMAXPROCS) selects the worker count of the parallel
+// points; cfg.Quick shrinks workloads and measurement windows to CI size.
+func RunCoreBench(cfg Config) (*CoreBench, error) {
+	start := time.Now()
+	workers := sp.Workers(cfg.Parallelism)
+	target := 200 * time.Millisecond
+	greedyN, verifyN := 128, 24
+	if cfg.Quick {
+		target = 25 * time.Millisecond
+		greedyN, verifyN = 64, 18
+	}
+	out := &CoreBench{
+		Schema:      CoreBenchSchema,
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Quick:       cfg.Quick,
+		Seed:        cfg.Seed,
+		Parallelism: workers,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+
+	// LBC gap decision on a warm searcher — the paper's per-edge edge test,
+	// pinned at 0 allocs/op by TestDecideWithZeroAllocs.
+	gLBC, err := gnpDegree(rng, greedyN, 16)
+	if err != nil {
+		return nil, err
+	}
+	searcher := sp.NewSearcher(gLBC.N(), gLBC.M())
+	out.Benchmarks = append(out.Benchmarks, benchPoint("lbc_decide_warm_searcher", target, func() {
+		if _, err := lbc.DecideWith(searcher, gLBC, 0, 1, 3, 4, lbc.Vertex); err != nil {
+			panic(err)
+		}
+	}))
+
+	// Full modified greedy build — the headline polynomial construction.
+	out.Benchmarks = append(out.Benchmarks, benchPoint("modified_greedy", target, func() {
+		if _, _, err := core.ModifiedGreedyWith(searcher, gLBC, 2, 2, lbc.Vertex); err != nil {
+			panic(err)
+		}
+	}))
+
+	// Exhaustive verification, sequential vs parallel, on one spanner.
+	gV, err := gnpDegree(rng, verifyN, 8)
+	if err != nil {
+		return nil, err
+	}
+	hV, _, err := core.ModifiedGreedy(gV, 2, 2, lbc.Vertex)
+	if err != nil {
+		return nil, err
+	}
+	verifyAt := func(w int) func() {
+		return func() {
+			rep, err := verify.ExhaustiveParallel(gV, hV, 3, 2, lbc.Vertex, w)
+			if err != nil || !rep.OK {
+				panic(rep.Violation)
+			}
+		}
+	}
+	p1 := benchPoint("verify_exhaustive_p1", target, verifyAt(1))
+	out.Benchmarks = append(out.Benchmarks, p1)
+	out.VerifySpeedup = 1
+	if workers > 1 {
+		// With one worker the parallel point would duplicate p1's name and
+		// compare a configuration against itself; skip it.
+		pN := benchPoint(fmtName("verify_exhaustive_p", workers), target, verifyAt(workers))
+		out.Benchmarks = append(out.Benchmarks, pN)
+		out.VerifySpeedup = p1.NsPerOp / pN.NsPerOp
+	}
+
+	// Exact greedy (the exponential baseline), sequential vs parallel.
+	gE, err := gnpDegree(rng, 14, 6)
+	if err != nil {
+		return nil, err
+	}
+	exactAt := func(w int) func() {
+		return func() {
+			if _, _, err := core.ExactGreedyParallel(gE, 2, 2, lbc.Vertex, w); err != nil {
+				panic(err)
+			}
+		}
+	}
+	out.Benchmarks = append(out.Benchmarks, benchPoint("exact_greedy_p1", target, exactAt(1)))
+	if workers > 1 {
+		out.Benchmarks = append(out.Benchmarks, benchPoint(fmtName("exact_greedy_p", workers), target, exactAt(workers)))
+	}
+
+	// Spanner size vs the Theorem 8 bound on the E1 workload shape.
+	sizeNs := []int{64, 128, 256}
+	if cfg.Quick {
+		sizeNs = []int{64, 128}
+	}
+	for _, n := range sizeNs {
+		g, err := gnpDegree(rng, n, n/4)
+		if err != nil {
+			return nil, err
+		}
+		for _, kf := range [][2]int{{2, 1}, {2, 2}, {3, 2}} {
+			k, f := kf[0], kf[1]
+			h, _, err := core.ModifiedGreedy(g, k, f, lbc.Vertex)
+			if err != nil {
+				return nil, err
+			}
+			bound := core.SizeBound(n, k, f)
+			out.Spanners = append(out.Spanners, SpannerPoint{
+				N: n, M: g.M(), K: k, F: f,
+				Edges:     h.M(),
+				SizeBound: bound,
+				Ratio:     float64(h.M()) / bound,
+			})
+		}
+	}
+
+	out.ElapsedSec = time.Since(start).Seconds()
+	return out, nil
+}
+
+func fmtName(prefix string, n int) string {
+	return prefix + itoa(n)
+}

@@ -5,6 +5,7 @@ import (
 
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
 )
 
 // Certificate records why the modified greedy added one edge: the
@@ -37,17 +38,19 @@ func ModifiedGreedyWithCertificates(g *graph.Graph, k, f int) (*graph.Graph, []C
 	}
 	t := Stretch(k)
 	h := g.EmptyLike()
+	s := sp.NewSearcher(g.N(), g.M())
 	var certs []Certificate
 	for _, id := range order {
 		e := g.Edge(id)
 		stats.EdgesConsidered++
-		res, err := lbc.Decide(h, e.U, e.V, t, f, lbc.Vertex)
+		res, err := lbc.DecideWith(s, h, e.U, e.V, t, f, lbc.Vertex)
 		if err != nil {
 			return nil, nil, stats, fmt.Errorf("core: LBC on edge {%d,%d}: %w", e.U, e.V, err)
 		}
 		stats.BFSPasses += res.Passes
 		if res.Yes {
 			hid := h.MustAddEdgeW(e.U, e.V, e.W)
+			// res.Cut aliases the searcher's scratch; copy to retain it.
 			certs = append(certs, Certificate{EdgeID: hid, Cut: append([]int(nil), res.Cut...)})
 		}
 	}

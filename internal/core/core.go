@@ -20,6 +20,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"ftspanner/internal/combin"
 	"ftspanner/internal/graph"
@@ -40,7 +42,10 @@ type Stats struct {
 	// calls (ModifiedGreedy only).
 	BFSPasses int
 	// FaultSetsTried is the total number of fault sets enumerated
-	// (ExactGreedy only).
+	// (ExactGreedy only). With one worker this count is deterministic; under
+	// ExactGreedyParallel it reflects the fault sets actually examined
+	// before the early exit, which can exceed the sequential count and vary
+	// between runs. The constructed spanner is identical either way.
 	FaultSetsTried int64
 }
 
@@ -86,6 +91,26 @@ func ModifiedGreedy(g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stat
 // another order on a weighted graph is exactly the E13 ablation and may
 // violate the stretch guarantee.
 func ModifiedGreedyWithOrder(g *graph.Graph, k, f int, mode lbc.Mode, order []int) (*graph.Graph, Stats, error) {
+	return modifiedGreedy(nil, g, k, f, mode, order)
+}
+
+// ModifiedGreedyWith is ModifiedGreedy reusing the scratch of s across the
+// whole construction (and across constructions, when the caller builds many
+// spanners with one searcher). A nil s allocates a fresh searcher. The hot
+// loop — one lbc.DecideWith per input edge — performs no per-edge heap
+// allocation beyond the growth of the output spanner itself.
+func ModifiedGreedyWith(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stats, error) {
+	if err := validateParams(g, k, f, mode); err != nil {
+		return nil, Stats{}, err
+	}
+	order := insertionOrder(g.M())
+	if g.Weighted() {
+		order = g.EdgeIDsByWeight()
+	}
+	return modifiedGreedy(s, g, k, f, mode, order)
+}
+
+func modifiedGreedy(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode, order []int) (*graph.Graph, Stats, error) {
 	var stats Stats
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, stats, err
@@ -93,12 +118,17 @@ func ModifiedGreedyWithOrder(g *graph.Graph, k, f int, mode lbc.Mode, order []in
 	if err := checkPermutation(order, g.M()); err != nil {
 		return nil, stats, err
 	}
+	if s == nil {
+		s = sp.NewSearcher(g.N(), g.M())
+	} else {
+		s.Grow(g.N(), g.M())
+	}
 	t := Stretch(k)
 	h := g.EmptyLike()
 	for _, id := range order {
 		e := g.Edge(id)
 		stats.EdgesConsidered++
-		res, err := lbc.Decide(h, e.U, e.V, t, f, mode)
+		res, err := lbc.DecideWith(s, h, e.U, e.V, t, f, mode)
 		if err != nil {
 			return nil, stats, fmt.Errorf("core: LBC on edge {%d,%d}: %w", e.U, e.V, err)
 		}
@@ -120,21 +150,44 @@ func ModifiedGreedyWithOrder(g *graph.Graph, k, f int, mode lbc.Mode, order []in
 // size-optimal baseline for experiment E3. Distances are weighted on
 // weighted graphs (Dijkstra) and hop counts otherwise (BFS).
 func ExactGreedy(g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stats, error) {
+	return ExactGreedyParallel(g, k, f, mode, 1)
+}
+
+// ExactGreedyParallel is ExactGreedy with the per-edge fault-set search
+// fanned out across `workers` goroutines (workers <= 0 selects GOMAXPROCS),
+// each with its own sp.Searcher. The greedy loop itself stays sequential —
+// each edge decision depends on the spanner built so far — but the edge
+// test is a pure existence query over an enumeration space, so sharding it
+// is safe: the constructed spanner is byte-identical to the sequential one
+// for every worker count. Only Stats.FaultSetsTried may differ (see Stats).
+func ExactGreedyParallel(g *graph.Graph, k, f int, mode lbc.Mode, workers int) (*graph.Graph, Stats, error) {
 	var stats Stats
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, stats, err
 	}
+	workers = sp.Workers(workers)
 	t := Stretch(k)
 	h := g.EmptyLike()
 	order := insertionOrder(g.M())
 	if g.Weighted() {
 		order = g.EdgeIDsByWeight()
 	}
+	// One searcher per worker, reused across every edge of the build.
+	searchers := make([]*sp.Searcher, workers)
+	for i := range searchers {
+		searchers[i] = sp.NewSearcher(g.N(), g.M())
+	}
 	for _, id := range order {
 		e := g.Edge(id)
 		stats.EdgesConsidered++
 		threshold := float64(t) * e.W
-		bad, tried := existsFaultSetExceeding(h, e.U, e.V, f, threshold, mode)
+		var bad bool
+		var tried int64
+		if workers == 1 {
+			bad, tried = existsFaultSetExceeding(searchers[0], h, e.U, e.V, f, threshold, mode)
+		} else {
+			bad, tried = existsFaultSetExceedingParallel(searchers, h, e.U, e.V, f, threshold, mode)
+		}
 		stats.FaultSetsTried += tried
 		if bad {
 			h.MustAddEdgeW(e.U, e.V, e.W)
@@ -144,11 +197,9 @@ func ExactGreedy(g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stats, 
 	return h, stats, nil
 }
 
-// existsFaultSetExceeding reports whether some fault set of size at most f
-// makes the u-v distance in h exceed threshold. Distance is monotone
-// nondecreasing under larger fault sets, so enumerating sets of size exactly
-// min(f, #candidates) is equivalent to enumerating all sizes <= f.
-func existsFaultSetExceeding(h *graph.Graph, u, v, f int, threshold float64, mode lbc.Mode) (bool, int64) {
+// faultCandidates lists the elements fault sets are drawn from: vertices
+// other than the terminals, or all edges of h.
+func faultCandidates(h *graph.Graph, u, v int, mode lbc.Mode) []int {
 	var candidates []int
 	switch mode {
 	case lbc.Vertex:
@@ -162,37 +213,105 @@ func existsFaultSetExceeding(h *graph.Graph, u, v, f int, threshold float64, mod
 			candidates = append(candidates, id)
 		}
 	}
+	return candidates
+}
+
+func block(s *sp.Searcher, mode lbc.Mode, id int) {
+	switch mode {
+	case lbc.Vertex:
+		s.BlockVertex(id)
+	case lbc.Edge:
+		s.BlockEdge(id)
+	}
+}
+
+// existsFaultSetExceeding reports whether some fault set of size at most f
+// makes the u-v distance in h exceed threshold. Distance is monotone
+// nondecreasing under larger fault sets, so enumerating sets of size exactly
+// min(f, #candidates) is equivalent to enumerating all sizes <= f.
+func existsFaultSetExceeding(s *sp.Searcher, h *graph.Graph, u, v, f int, threshold float64, mode lbc.Mode) (bool, int64) {
+	candidates := faultCandidates(h, u, v, mode)
 	size := f
 	if size > len(candidates) {
 		size = len(candidates)
 	}
-	blocked := sp.Blocked{}
-	switch mode {
-	case lbc.Vertex:
-		blocked.V = make([]bool, h.N())
-	case lbc.Edge:
-		blocked.E = make([]bool, h.M())
-	}
+	s.Grow(h.N(), h.M())
 	var tried int64
 	found := combin.ForEach(len(candidates), size, func(idx []int) bool {
 		tried++
-		set(blocked, mode, candidates, idx, true)
-		d := sp.Dist(h, u, v, blocked)
-		set(blocked, mode, candidates, idx, false)
-		return d > threshold
+		s.ResetBlocked()
+		for _, i := range idx {
+			block(s, mode, candidates[i])
+		}
+		return s.Dist(h, u, v) > threshold
 	})
 	return found, tried
 }
 
-func set(blocked sp.Blocked, mode lbc.Mode, candidates, idx []int, val bool) {
-	for _, i := range idx {
-		switch mode {
-		case lbc.Vertex:
-			blocked.V[candidates[i]] = val
-		case lbc.Edge:
-			blocked.E[candidates[i]] = val
-		}
+// existsFaultSetExceedingParallel shards the fault-set enumeration by the
+// first candidate index: the worker handling first element i enumerates all
+// sets {candidates[i]} ∪ S with S drawn from the candidates after i. A
+// shared flag stops all workers as soon as any of them finds a separating
+// fault set (the query is pure existence, so which one is found first does
+// not matter).
+func existsFaultSetExceedingParallel(searchers []*sp.Searcher, h *graph.Graph, u, v, f int, threshold float64, mode lbc.Mode) (bool, int64) {
+	candidates := faultCandidates(h, u, v, mode)
+	size := f
+	if size > len(candidates) {
+		size = len(candidates)
 	}
+	if size == 0 {
+		// Only the empty fault set to try.
+		s := searchers[0]
+		s.ResetBlocked()
+		return s.Dist(h, u, v) > threshold, 1
+	}
+	// Pool setup (goroutines, channel, WaitGroup) costs a few microseconds;
+	// on the small enumeration spaces of the early greedy edges that would
+	// dominate the work, so stay sequential until the space is large enough
+	// to amortize the fan-out.
+	const minSetsForFanOut = 512
+	if combin.Count(len(candidates), size) < minSetsForFanOut {
+		return existsFaultSetExceeding(searchers[0], h, u, v, f, threshold, mode)
+	}
+	jobs := make(chan int, len(searchers))
+	var found atomic.Bool
+	var tried atomic.Int64
+	var wg sync.WaitGroup
+	for _, s := range searchers {
+		wg.Add(1)
+		go func(s *sp.Searcher) {
+			defer wg.Done()
+			s.Grow(h.N(), h.M())
+			var local int64
+			for first := range jobs {
+				if found.Load() {
+					continue // drain remaining jobs
+				}
+				rest := len(candidates) - first - 1
+				combin.ForEach(rest, size-1, func(idx []int) bool {
+					local++
+					s.ResetBlocked()
+					block(s, mode, candidates[first])
+					for _, j := range idx {
+						block(s, mode, candidates[first+1+j])
+					}
+					if s.Dist(h, u, v) > threshold {
+						found.Store(true)
+						return true
+					}
+					return found.Load()
+				})
+			}
+			tried.Add(local)
+		}(s)
+	}
+	for first := 0; first+size <= len(candidates); first++ {
+		jobs <- first
+	}
+	close(jobs)
+	wg.Wait()
+	return found.Load(), tried.Load()
 }
 
 func insertionOrder(m int) []int {

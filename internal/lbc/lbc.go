@@ -71,37 +71,73 @@ type Result struct {
 // Decide runs Algorithm 2 on g with terminals u, v, hop bound t, and budget
 // alpha. Weights on g are ignored: length-bounded cuts are defined on hop
 // counts, which is exactly how the weighted greedy (Algorithm 4) uses this.
+//
+// Decide allocates its own scratch per call; the greedy's hot loop uses
+// DecideWith with a long-lived sp.Searcher instead.
 func Decide(g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
+	res, err := DecideWith(sp.NewSearcher(g.N(), g.M()), g, u, v, t, alpha, mode)
+	if err != nil {
+		return res, err
+	}
+	// The searcher dies with this call, so the cut does not alias live
+	// scratch — but copy anyway so Decide's contract stays independent of
+	// DecideWith's buffer reuse.
+	if res.Cut != nil {
+		res.Cut = append([]int(nil), res.Cut...)
+	}
+	return res, nil
+}
+
+// DecideWith is Decide running entirely on the scratch of s: on a warm
+// searcher it performs zero heap allocations, which is what makes the
+// modified greedy's O((m+n)·alpha) per-edge cost real rather than dominated
+// by allocator traffic.
+//
+// On YES, Result.Cut aliases the searcher's scratch and is valid only until
+// the next use of s; callers that retain it must copy. The searcher's fault
+// mask is reset on entry and on exit (both O(1)), so s carries no state
+// between calls and stays safe for direct Dist/BFS use afterwards.
+func DecideWith(s *sp.Searcher, g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
 	if err := validate(g, u, v, t, alpha, mode); err != nil {
 		return Result{}, err
 	}
-	blocked := sp.Blocked{}
-	var cut []int
-	switch mode {
-	case Vertex:
-		blocked.V = make([]bool, g.N())
-	case Edge:
-		blocked.E = make([]bool, g.M())
-	}
+	s.Grow(g.N(), g.M())
+	s.ResetBlocked()
+	defer s.ResetBlocked()
+	cut := s.Scratch[:0]
 	for pass := 1; pass <= alpha+1; pass++ {
-		vertices, edgeIDs, found := sp.PathWithin(g, u, v, t, blocked)
+		vertices, edgeIDs, found := s.PathWithin(g, u, v, t)
 		if !found {
+			s.Scratch = cut
 			return Result{Yes: true, Cut: cut, Passes: pass}, nil
 		}
+		added := 0
 		switch mode {
 		case Vertex:
 			// Add all internal vertices of the path to F.
 			for _, x := range vertices[1 : len(vertices)-1] {
-				blocked.V[x] = true
+				s.BlockVertex(x)
 				cut = append(cut, x)
+				added++
 			}
 		case Edge:
 			for _, id := range edgeIDs {
-				blocked.E[id] = true
+				s.BlockEdge(id)
 				cut = append(cut, id)
+				added++
 			}
 		}
+		if added == 0 {
+			// The pass contributed nothing to the cut: in vertex mode a
+			// 1-hop u-v path has no internal vertices, and no vertex cut can
+			// ever remove a direct edge. Without this short-circuit every
+			// remaining pass re-finds the same path, burning all alpha+1
+			// BFS passes (and inflating Passes) before answering NO.
+			s.Scratch = cut
+			return Result{Yes: false, Passes: pass}, nil
+		}
 	}
+	s.Scratch = cut
 	return Result{Yes: false, Passes: alpha + 1}, nil
 }
 

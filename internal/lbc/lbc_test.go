@@ -262,6 +262,113 @@ func TestModeString(t *testing.T) {
 	}
 }
 
+// TestDecideDirectEdgePassAccounting is the regression test for the
+// pass-accounting bug: a vertex-mode pass that finds the 1-hop u-v path
+// adds no internal vertices to the cut, so before the short-circuit every
+// remaining pass re-found the same path and Decide burned all alpha+1 BFS
+// passes before answering NO. The answer is known the moment a pass
+// contributes nothing — no vertex cut can remove a direct edge.
+func TestDecideDirectEdgePassAccounting(t *testing.T) {
+	g := gen.Complete(4)
+	for alpha := 0; alpha <= 4; alpha++ {
+		res, err := Decide(g, 0, 1, 3, alpha, Vertex)
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		if res.Yes {
+			t.Fatalf("alpha=%d: YES despite direct u-v edge", alpha)
+		}
+		if res.Passes != 1 {
+			t.Errorf("alpha=%d: passes = %d, want 1 (short-circuit on barren pass)", alpha, res.Passes)
+		}
+	}
+	// Edge mode is unaffected: the direct edge itself joins the cut, so the
+	// pass makes progress and enumeration continues as before.
+	res, err := Decide(g, 0, 1, 2, 3, Edge)
+	if err != nil {
+		t.Fatalf("Decide edge: %v", err)
+	}
+	if !res.Yes {
+		t.Error("edge mode on K4 t=2 alpha=3: want YES (cut all short u-v paths)")
+	}
+}
+
+// TestDecideWithMatchesDecide: the searcher-based entry point returns the
+// same decision, certificate, and pass count as Decide on random instances.
+func TestDecideWithMatchesDecide(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := sp.NewSearcher(0, 0)
+	for trial := 0; trial < 50; trial++ {
+		g, err := gen.GNP(rng, 14, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, v := 0, 1+rng.Intn(13)
+		tHop := 1 + rng.Intn(4)
+		alpha := rng.Intn(3)
+		for _, mode := range []Mode{Vertex, Edge} {
+			want, err := Decide(g, u, v, tHop, alpha, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecideWith(s, g, u, v, tHop, alpha, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Yes != want.Yes || got.Passes != want.Passes || len(got.Cut) != len(want.Cut) {
+				t.Fatalf("trial %d %v: DecideWith = %+v, Decide = %+v", trial, mode, got, want)
+			}
+			for i := range got.Cut {
+				if got.Cut[i] != want.Cut[i] {
+					t.Fatalf("trial %d %v: cut mismatch %v vs %v", trial, mode, got.Cut, want.Cut)
+				}
+			}
+		}
+	}
+}
+
+// TestDecideWithLeavesSearcherClean: DecideWith must reset the fault mask
+// on exit so the searcher stays safe for direct Dist/BFS use afterwards
+// (the public BuildWith reuse pattern hands users exactly this searcher).
+func TestDecideWithLeavesSearcherClean(t *testing.T) {
+	g := gen.Complete(6)
+	s := sp.NewSearcher(g.N(), g.M())
+	// alpha large enough that vertex passes install cut vertices in the mask.
+	if _, err := DecideWith(s, g, 0, 1, 2, 3, Vertex); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if s.VertexBlocked(v) {
+			t.Fatalf("vertex %d left blocked after DecideWith", v)
+		}
+	}
+	if d := s.Dist(g, 0, 1); d != 1 {
+		t.Errorf("post-DecideWith Dist = %v, want 1 (stale mask leaked)", d)
+	}
+}
+
+// TestDecideWithZeroAllocs pins the greedy's per-edge hot path at zero heap
+// allocations on a warm searcher (the tentpole acceptance criterion).
+func TestDecideWithZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	g, err := gen.GNP(rng, 96, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sp.NewSearcher(g.N(), g.M())
+	for _, mode := range []Mode{Vertex, Edge} {
+		fn := func() {
+			if _, err := DecideWith(s, g, 0, 1, 3, 4, mode); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fn() // warm the searcher
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%v: DecideWith allocates %v/op on a warm searcher, want 0", mode, allocs)
+		}
+	}
+}
+
 // Guard against accidental API drift: Decide must not mutate the input graph.
 func TestDecideDoesNotMutate(t *testing.T) {
 	g := gen.Complete(5)

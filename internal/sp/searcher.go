@@ -1,0 +1,405 @@
+package sp
+
+import (
+	"math"
+	"runtime"
+
+	"ftspanner/internal/graph"
+)
+
+// Workers normalizes a Parallelism-style knob for the worker pools that
+// give each goroutine its own Searcher: values <= 0 select GOMAXPROCS.
+// Every layer (core, verify, bench) shares this one definition so the knob
+// cannot drift between them.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Searcher is a reusable shortest-path engine: it owns all the scratch a
+// BFS or Dijkstra run needs (distance and parent arrays, a ring-buffer
+// queue, a binary heap, path buffers) plus a fault mask with O(1) epoch
+// clearing, so repeated queries perform zero allocations once the buffers
+// are warm. This is the engine behind the paper's hot loop: the modified
+// greedy issues one lbc.Decide per input edge, and each Decide issues up to
+// alpha+1 hop-bounded BFS passes — with a Searcher none of them allocate.
+//
+// A Searcher is sized lazily: every query grows the scratch to the graph it
+// is given, so one Searcher can serve a growing spanner H and its source
+// graph G interchangeably. Grow preallocates up front to avoid even the
+// amortized growth cost.
+//
+// Validity of results: the distance accessors (HopDistTo, WeightTo) and the
+// slices returned by PathWithin refer to the most recent search and remain
+// valid only until the next call on the same Searcher.
+//
+// A Searcher is NOT safe for concurrent use; give each goroutine its own
+// (see verify.ExhaustiveParallel and core.ExactGreedyParallel for the
+// pattern).
+type Searcher struct {
+	// Per-vertex search scratch. dist/wdist/parent entries are valid only
+	// when the matching seen stamp equals the current epoch, so clearing
+	// between searches is a single counter increment.
+	dist    []int
+	wdist   []float64
+	parentV []int
+	parentE []int
+	seen    []uint32
+	done    []uint32 // Dijkstra finalization stamps
+	epoch   uint32
+
+	queue []int      // BFS ring buffer, at most one entry per vertex
+	heap  []heapItem // Dijkstra priority queue (lazy deletion)
+
+	// Fault mask: vertex u (edge id) is blocked iff the stamp equals
+	// blockEpoch, so ResetBlocked is O(1).
+	blockV     []uint32
+	blockE     []uint32
+	blockEpoch uint32
+
+	// Path buffers backing PathWithin results.
+	pathV []int
+	pathE []int
+
+	// Scratch is a spare integer buffer for callers that accumulate IDs
+	// alongside a search (lbc.DecideWith builds its cut certificate here).
+	// Like the path buffers, its contents are valid until the next use.
+	Scratch []int
+}
+
+type heapItem struct {
+	v int
+	d float64
+}
+
+// NewSearcher returns a Searcher preallocated for graphs with up to n
+// vertices and m edges. It still grows on demand beyond these hints.
+func NewSearcher(n, m int) *Searcher {
+	s := &Searcher{epoch: 1, blockEpoch: 1}
+	s.Grow(n, m)
+	return s
+}
+
+// Grow ensures the scratch can serve a graph with n vertices and m edges
+// without further allocation. It preserves the current fault mask.
+func (s *Searcher) Grow(n, m int) {
+	if n > len(s.dist) {
+		s.dist = growInts(s.dist, n)
+		s.wdist = growFloats(s.wdist, n)
+		s.parentV = growInts(s.parentV, n)
+		s.parentE = growInts(s.parentE, n)
+		s.seen = growStamps(s.seen, n)
+		s.done = growStamps(s.done, n)
+		s.blockV = growStamps(s.blockV, n)
+		if cap(s.queue) < n {
+			s.queue = make([]int, 0, n)
+		}
+		if cap(s.pathV) < n {
+			s.pathV = make([]int, 0, n)
+		}
+		if cap(s.pathE) < n {
+			s.pathE = make([]int, 0, n)
+		}
+		if cap(s.heap) < n {
+			s.heap = make([]heapItem, 0, n)
+		}
+	}
+	if m > len(s.blockE) {
+		s.blockE = growStamps(s.blockE, m)
+	}
+}
+
+func growInts(a []int, n int) []int {
+	b := make([]int, n)
+	copy(b, a)
+	return b
+}
+
+func growFloats(a []float64, n int) []float64 {
+	b := make([]float64, n)
+	copy(b, a)
+	return b
+}
+
+func growStamps(a []uint32, n int) []uint32 {
+	b := make([]uint32, n)
+	copy(b, a)
+	return b
+}
+
+// bumpSearch starts a new search epoch, logically clearing every per-vertex
+// result in O(1). On the (rare) 32-bit wraparound the stamps are zeroed for
+// real so a stale stamp can never collide with a fresh epoch.
+func (s *Searcher) bumpSearch() {
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.seen)
+		clear(s.done)
+		s.epoch = 1
+	}
+}
+
+// ResetBlocked clears the fault mask in O(1).
+func (s *Searcher) ResetBlocked() {
+	s.blockEpoch++
+	if s.blockEpoch == 0 {
+		clear(s.blockV)
+		clear(s.blockE)
+		s.blockEpoch = 1
+	}
+}
+
+// BlockVertex marks vertex u as failed until the next ResetBlocked.
+func (s *Searcher) BlockVertex(u int) {
+	if u >= len(s.blockV) {
+		s.Grow(u+1, 0)
+	}
+	s.blockV[u] = s.blockEpoch
+}
+
+// BlockEdge marks edge id as failed until the next ResetBlocked.
+func (s *Searcher) BlockEdge(id int) {
+	if id >= len(s.blockE) {
+		s.Grow(0, id+1)
+	}
+	s.blockE[id] = s.blockEpoch
+}
+
+// VertexBlocked reports whether vertex u is currently blocked.
+func (s *Searcher) VertexBlocked(u int) bool { return s.blockV[u] == s.blockEpoch }
+
+// EdgeBlocked reports whether edge id is currently blocked.
+func (s *Searcher) EdgeBlocked(id int) bool { return s.blockE[id] == s.blockEpoch }
+
+// BFS computes hop distances from src in g minus the Searcher's fault mask.
+// Read results with HopDistTo.
+func (s *Searcher) BFS(g *graph.Graph, src int) {
+	s.Grow(g.N(), g.M())
+	s.bfs(g, src, math.MaxInt, -1)
+}
+
+// BFSBounded is BFS truncated at maxHops, exactly like the package-level
+// BFSBounded: vertices farther than maxHops stay Unreachable.
+func (s *Searcher) BFSBounded(g *graph.Graph, src, maxHops int) {
+	s.Grow(g.N(), g.M())
+	s.bfs(g, src, maxHops, -1)
+}
+
+// bfs runs a hop-bounded BFS; if target >= 0 it stops as soon as the target
+// is labeled (its distance and parents are final at that point).
+func (s *Searcher) bfs(g *graph.Graph, src, maxHops, target int) {
+	s.bumpSearch()
+	if s.VertexBlocked(src) {
+		return
+	}
+	e := s.epoch
+	s.seen[src] = e
+	s.dist[src] = 0
+	s.parentV[src] = -1
+	s.parentE[src] = -1
+	q := s.queue[:0]
+	q = append(q, src)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := s.dist[u]
+		if du >= maxHops {
+			continue
+		}
+		for _, he := range g.Adj(u) {
+			if s.EdgeBlocked(he.ID) || s.VertexBlocked(he.To) || s.seen[he.To] == e {
+				continue
+			}
+			s.seen[he.To] = e
+			s.dist[he.To] = du + 1
+			s.parentV[he.To] = u
+			s.parentE[he.To] = he.ID
+			if he.To == target {
+				s.queue = q
+				return
+			}
+			q = append(q, he.To)
+		}
+	}
+	s.queue = q
+}
+
+// HopDistTo returns the hop distance of v computed by the last BFS /
+// BFSBounded call, or Unreachable.
+func (s *Searcher) HopDistTo(v int) int {
+	if s.seen[v] != s.epoch {
+		return Unreachable
+	}
+	return s.dist[v]
+}
+
+// HopDist runs a BFS bounded at maxHops from u and returns the hop distance
+// to v (Unreachable if none within the bound). The search stops early once
+// v is reached.
+func (s *Searcher) HopDist(g *graph.Graph, u, v, maxHops int) int {
+	s.Grow(g.N(), g.M())
+	if u == v {
+		if s.VertexBlocked(u) {
+			return Unreachable
+		}
+		return 0
+	}
+	s.bfs(g, u, maxHops, v)
+	return s.HopDistTo(v)
+}
+
+// PathWithin returns a u-v path with at most maxHops edges in g minus the
+// fault mask, if one exists. The returned slices alias the Searcher's path
+// buffers: they are valid until the next call and must be copied to be
+// retained.
+func (s *Searcher) PathWithin(g *graph.Graph, u, v, maxHops int) (vertices, edgeIDs []int, ok bool) {
+	s.Grow(g.N(), g.M())
+	if u == v {
+		if s.VertexBlocked(u) {
+			return nil, nil, false
+		}
+		s.pathV = append(s.pathV[:0], u)
+		return s.pathV, nil, true
+	}
+	s.bfs(g, u, maxHops, v)
+	if s.seen[v] != s.epoch {
+		return nil, nil, false
+	}
+	pv := s.pathV[:0]
+	pe := s.pathE[:0]
+	for x := v; x != -1; x = s.parentV[x] {
+		pv = append(pv, x)
+		if s.parentE[x] != -1 {
+			pe = append(pe, s.parentE[x])
+		}
+	}
+	for i, j := 0, len(pv)-1; i < j; i, j = i+1, j-1 {
+		pv[i], pv[j] = pv[j], pv[i]
+	}
+	for i, j := 0, len(pe)-1; i < j; i, j = i+1, j-1 {
+		pe[i], pe[j] = pe[j], pe[i]
+	}
+	s.pathV, s.pathE = pv, pe
+	return pv, pe, true
+}
+
+// Dijkstra computes weighted shortest-path distances from src in g minus
+// the fault mask. Read results with WeightTo.
+func (s *Searcher) Dijkstra(g *graph.Graph, src int) {
+	s.Grow(g.N(), g.M())
+	s.dijkstra(g, src, -1)
+}
+
+// WeightTo returns the weighted distance of v computed by the last Dijkstra
+// call, or +Inf if v was not reached.
+func (s *Searcher) WeightTo(v int) float64 {
+	if s.seen[v] != s.epoch {
+		return Inf
+	}
+	return s.wdist[v]
+}
+
+func (s *Searcher) dijkstra(g *graph.Graph, src, target int) {
+	s.bumpSearch()
+	s.heap = s.heap[:0]
+	if s.VertexBlocked(src) {
+		return
+	}
+	e := s.epoch
+	s.seen[src] = e
+	s.wdist[src] = 0
+	s.parentV[src] = -1
+	s.parentE[src] = -1
+	s.hpush(heapItem{v: src, d: 0})
+	for len(s.heap) > 0 {
+		it := s.hpop()
+		u := it.v
+		if s.done[u] == e {
+			continue
+		}
+		s.done[u] = e
+		if u == target {
+			return
+		}
+		du := s.wdist[u]
+		for _, he := range g.Adj(u) {
+			if s.EdgeBlocked(he.ID) || s.VertexBlocked(he.To) || s.done[he.To] == e {
+				continue
+			}
+			nd := du + g.Weight(he.ID)
+			if s.seen[he.To] != e || nd < s.wdist[he.To] {
+				s.seen[he.To] = e
+				s.wdist[he.To] = nd
+				s.parentV[he.To] = u
+				s.parentE[he.To] = he.ID
+				s.hpush(heapItem{v: he.To, d: nd})
+			}
+		}
+	}
+}
+
+// Dist returns the shortest-path distance between u and v in g minus the
+// fault mask: weighted (Dijkstra) on weighted graphs, hop count (BFS)
+// otherwise, +Inf if unreachable. It agrees exactly with the package-level
+// Dist on both graph kinds.
+func (s *Searcher) Dist(g *graph.Graph, u, v int) float64 {
+	s.Grow(g.N(), g.M())
+	if u == v {
+		if s.VertexBlocked(u) {
+			return Inf
+		}
+		return 0
+	}
+	if g.Weighted() {
+		s.dijkstra(g, u, v)
+		return s.WeightTo(v)
+	}
+	s.bfs(g, u, math.MaxInt, v)
+	if d := s.HopDistTo(v); d != Unreachable {
+		return float64(d)
+	}
+	return Inf
+}
+
+// hpush / hpop implement a plain binary min-heap on the scratch slice.
+// container/heap is avoided because its interface{} boxing allocates per
+// push, which would break the zero-allocation guarantee.
+func (s *Searcher) hpush(it heapItem) {
+	s.heap = append(s.heap, it)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].d <= s.heap[i].d {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+}
+
+func (s *Searcher) hpop() heapItem {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	s.heap = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].d < h[small].d {
+			small = l
+		}
+		if r < len(h) && h[r].d < h[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,221 @@
+package sp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+)
+
+// randomBlocked draws a random fault mask and returns it both as a Blocked
+// (for the package-level functions) and as the vertex/edge ID lists to
+// install in a Searcher.
+func randomBlocked(rng *rand.Rand, g *graph.Graph) (Blocked, []int, []int) {
+	var vs, es []int
+	vMask := make([]bool, g.N())
+	eMask := make([]bool, g.M())
+	for v := 0; v < g.N(); v++ {
+		if rng.Float64() < 0.15 {
+			vMask[v] = true
+			vs = append(vs, v)
+		}
+	}
+	for id := 0; id < g.M(); id++ {
+		if rng.Float64() < 0.1 {
+			eMask[id] = true
+			es = append(es, id)
+		}
+	}
+	return Blocked{V: vMask, E: eMask}, vs, es
+}
+
+func installMask(s *Searcher, vs, es []int) {
+	s.ResetBlocked()
+	for _, v := range vs {
+		s.BlockVertex(v)
+	}
+	for _, e := range es {
+		s.BlockEdge(e)
+	}
+}
+
+// TestSearcherMatchesBFS cross-checks the Searcher's BFS distances against
+// the package-level BFSBounded under random fault masks, including the
+// reuse of one Searcher across many queries.
+func TestSearcherMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	s := NewSearcher(0, 0) // deliberately undersized: Grow must handle it
+	for trial := 0; trial < 40; trial++ {
+		g, err := gen.GNP(rng, 24, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked, vs, es := randomBlocked(rng, g)
+		src := rng.Intn(g.N())
+		maxHops := 1 + rng.Intn(5)
+		want := BFSBounded(g, src, maxHops, blocked)
+		installMask(s, vs, es)
+		s.BFSBounded(g, src, maxHops)
+		for v := 0; v < g.N(); v++ {
+			if got := s.HopDistTo(v); got != want.Dist[v] {
+				t.Fatalf("trial %d: dist[%d] = %d, want %d (src=%d maxHops=%d)",
+					trial, v, got, want.Dist[v], src, maxHops)
+			}
+		}
+	}
+}
+
+// TestSearcherMatchesDijkstra cross-checks weighted distances.
+func TestSearcherMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	s := NewSearcher(4, 4)
+	for trial := 0; trial < 40; trial++ {
+		base, err := gen.GNP(rng, 20, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := gen.UniformWeights(rng, base, 1, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked, vs, es := randomBlocked(rng, g)
+		src := rng.Intn(g.N())
+		want := Dijkstra(g, src, blocked)
+		installMask(s, vs, es)
+		s.Dijkstra(g, src)
+		for v := 0; v < g.N(); v++ {
+			if got := s.WeightTo(v); got != want.Dist[v] {
+				t.Fatalf("trial %d: wdist[%d] = %v, want %v", trial, v, got, want.Dist[v])
+			}
+		}
+		// And the point-to-point Dist agrees with the package-level one.
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		installMask(s, vs, es)
+		if got, want := s.Dist(g, u, v), Dist(g, u, v, blocked); got != want {
+			t.Fatalf("trial %d: Dist(%d,%d) = %v, want %v", trial, u, v, got, want)
+		}
+	}
+}
+
+// TestSearcherPathWithin checks path queries against the package function:
+// same feasibility, and returned paths are valid u-v paths within the hop
+// bound avoiding the mask.
+func TestSearcherPathWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	s := NewSearcher(8, 8)
+	for trial := 0; trial < 60; trial++ {
+		g, err := gen.GNP(rng, 18, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked, vs, es := randomBlocked(rng, g)
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		maxHops := 1 + rng.Intn(4)
+		_, _, wantOK := PathWithin(g, u, v, maxHops, blocked)
+		installMask(s, vs, es)
+		pv, pe, ok := s.PathWithin(g, u, v, maxHops)
+		if ok != wantOK {
+			t.Fatalf("trial %d: ok = %v, want %v", trial, ok, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		if pv[0] != u || pv[len(pv)-1] != v || len(pe) != len(pv)-1 || len(pe) > maxHops {
+			t.Fatalf("trial %d: malformed path %v / %v (u=%d v=%d maxHops=%d)", trial, pv, pe, u, v, maxHops)
+		}
+		for i, id := range pe {
+			e := g.Edge(id)
+			if !(e.U == pv[i] && e.V == pv[i+1]) && !(e.V == pv[i] && e.U == pv[i+1]) {
+				t.Fatalf("trial %d: edge %d does not connect %d-%d", trial, id, pv[i], pv[i+1])
+			}
+			if blocked.Edge(id) {
+				t.Fatalf("trial %d: path uses blocked edge %d", trial, id)
+			}
+		}
+		for _, x := range pv {
+			if blocked.Vertex(x) {
+				t.Fatalf("trial %d: path visits blocked vertex %d", trial, x)
+			}
+		}
+	}
+}
+
+// TestSearcherBlockedReset: after ResetBlocked the mask is empty again, and
+// stale stamps from a previous epoch never leak.
+func TestSearcherBlockedReset(t *testing.T) {
+	g := gen.Complete(5)
+	s := NewSearcher(g.N(), g.M())
+	s.BlockVertex(2)
+	s.BlockEdge(0)
+	if !s.VertexBlocked(2) || !s.EdgeBlocked(0) {
+		t.Fatal("block did not take")
+	}
+	s.ResetBlocked()
+	for v := 0; v < g.N(); v++ {
+		if s.VertexBlocked(v) {
+			t.Fatalf("vertex %d still blocked after reset", v)
+		}
+	}
+	for id := 0; id < g.M(); id++ {
+		if s.EdgeBlocked(id) {
+			t.Fatalf("edge %d still blocked after reset", id)
+		}
+	}
+	// Distances unaffected by an old mask.
+	if d := s.HopDist(g, 0, 1, math.MaxInt); d != 1 {
+		t.Fatalf("HopDist = %d, want 1", d)
+	}
+}
+
+// TestSearcherZeroAllocs pins the warm-searcher query paths at zero heap
+// allocations — the property the whole tentpole exists for.
+func TestSearcherZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	g, err := gen.GNP(rng, 64, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := gen.GNP(rng, 64, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gen.UniformWeights(rng, base, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(g.N(), g.M())
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"BFSBounded", func() { s.BFSBounded(g, 0, 4) }},
+		{"PathWithin", func() { s.PathWithin(g, 0, 1, 5) }},
+		{"DistUnweighted", func() { s.Dist(g, 0, 1) }},
+		{"Dijkstra", func() { s.Dijkstra(w, 0) }},
+		{"DistWeighted", func() { s.Dist(w, 0, 1) }},
+		{"BlockAndReset", func() { s.ResetBlocked(); s.BlockVertex(3); s.BlockEdge(2) }},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op on a warm searcher, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestSearcherGrowPreservesMask: growing the scratch (e.g. when a bigger
+// graph arrives) keeps previously blocked IDs blocked.
+func TestSearcherGrowPreservesMask(t *testing.T) {
+	s := NewSearcher(4, 2)
+	s.BlockVertex(1)
+	s.BlockEdge(0)
+	s.Grow(100, 50)
+	if !s.VertexBlocked(1) || !s.EdgeBlocked(0) {
+		t.Error("Grow dropped blocked IDs")
+	}
+	if s.VertexBlocked(99) || s.EdgeBlocked(49) {
+		t.Error("Grow introduced spurious blocks")
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
-	"ftspanner/internal/sp"
 )
 
 // MaxStretch returns the maximum realized stretch of h relative to g under
@@ -59,36 +58,42 @@ func pairStretches(g, h *graph.Graph, faultIDs []int, mode lbc.Mode, allPairs bo
 
 	var out []float64
 	for u := 0; u < g.N(); u++ {
-		if ck.blockedG.Vertex(u) {
+		if ck.sg.VertexBlocked(u) {
 			continue
 		}
-		var gDist, hDist []float64
+		ran := false
 		lazy := func() {
-			if gDist == nil {
-				gDist = sp.Dijkstra(g, u, ck.blockedG).Dist
-				hDist = sp.Dijkstra(h, u, ck.blockedH).Dist
+			if !ran {
+				ck.sg.Dijkstra(g, u)
+				ck.sh.Dijkstra(h, u)
+				ran = true
 			}
 		}
 		if allPairs {
 			lazy()
 			for v := u + 1; v < g.N(); v++ {
-				if ck.blockedG.Vertex(v) || math.IsInf(gDist[v], 1) || gDist[v] == 0 {
+				if ck.sg.VertexBlocked(v) {
 					continue
 				}
-				out = append(out, hDist[v]/gDist[v])
+				gd := ck.sg.WeightTo(v)
+				if math.IsInf(gd, 1) || gd == 0 {
+					continue
+				}
+				out = append(out, ck.sh.WeightTo(v)/gd)
 			}
 			continue
 		}
 		for _, he := range g.Adj(u) {
 			v := he.To
-			if v < u || ck.blockedG.Edge(he.ID) || ck.blockedG.Vertex(v) {
+			if v < u || ck.sg.EdgeBlocked(he.ID) || ck.sg.VertexBlocked(v) {
 				continue
 			}
 			lazy()
-			if gDist[v] == 0 {
+			gd := ck.sg.WeightTo(v)
+			if gd == 0 {
 				continue
 			}
-			out = append(out, hDist[v]/gDist[v])
+			out = append(out, ck.sh.WeightTo(v)/gd)
 		}
 	}
 	return out, nil

@@ -15,13 +15,19 @@
 //
 // Exhaustive enumerates every fault set (sound and complete; exponential in
 // f, for small instances). Sampled draws random fault sets (sound violations,
-// probabilistic coverage, for large instances).
+// probabilistic coverage, for large instances). Both have Parallel variants
+// that shard the fault sets across a worker pool, each worker with its own
+// sp.Searcher scratch; the fault-set enumeration is embarrassingly parallel,
+// and a deterministic merge keeps the reported first violation identical to
+// the sequential one.
 package verify
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"ftspanner/internal/combin"
 	"ftspanner/internal/graph"
@@ -53,12 +59,19 @@ func (v *Violation) Error() string {
 type Report struct {
 	// OK is true when no violation was found.
 	OK bool
-	// Violation is the first violation found (nil when OK).
+	// Violation is the first violation found (nil when OK). Parallel runs
+	// report the same violation as the sequential ones: the one whose fault
+	// set comes first in enumeration order.
 	Violation *Violation
 	// FaultSetsChecked counts fault sets examined.
 	FaultSetsChecked int64
 	// EdgeChecks counts (fault set, edge) pairs examined.
 	EdgeChecks int64
+	//
+	// When the spanner is valid the counters are identical for every worker
+	// count (every fault set is fully checked exactly once). When a
+	// violation exists, parallel runs may have examined more sets than the
+	// sequential early exit would — the counters report work actually done.
 }
 
 func validateInputs(g, h *graph.Graph, t float64, f int) error {
@@ -83,17 +96,30 @@ func validateInputs(g, h *graph.Graph, t float64, f int) error {
 // edges of g. Cost is O(C(n, f)) fault sets, each verified in O(n·(m_h+n))
 // — use on small instances only.
 func Exhaustive(g, h *graph.Graph, t float64, f int, mode lbc.Mode) (Report, error) {
+	return ExhaustiveParallel(g, h, t, f, mode, 1)
+}
+
+// ExhaustiveParallel is Exhaustive sharding the fault sets across `workers`
+// goroutines (workers <= 0 selects GOMAXPROCS), each with its own checker
+// and sp.Searcher. The report matches the sequential one: same OK, same
+// first violation, and identical counters whenever the spanner is valid.
+func ExhaustiveParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, workers int) (Report, error) {
 	var rep Report
 	if err := validateInputs(g, h, t, f); err != nil {
-		return rep, err
-	}
-	ck, err := newChecker(g, h, t, mode)
-	if err != nil {
 		return rep, err
 	}
 	nCandidates := g.N()
 	if mode == lbc.Edge {
 		nCandidates = g.M()
+	}
+	if workers = sp.Workers(workers); workers > 1 {
+		return checkSetsParallel(g, h, t, mode, workers, func(emit func([]int) bool) {
+			combin.ForEachUpTo(nCandidates, f, emit)
+		})
+	}
+	ck, err := newChecker(g, h, t, mode)
+	if err != nil {
+		return rep, err
 	}
 	ids := []int{}
 	combin.ForEachUpTo(nCandidates, f, func(idx []int) bool {
@@ -115,16 +141,23 @@ func Exhaustive(g, h *graph.Graph, t float64, f int, mode lbc.Mode) (Report, err
 // counterexample; OK means only that no violation was found among the
 // sampled sets.
 func Sampled(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *rand.Rand, trials int) (Report, error) {
+	return SampledParallel(g, h, t, f, mode, rng, trials, 1)
+}
+
+// SampledParallel is Sampled sharding the trial fault sets across `workers`
+// goroutines (workers <= 0 selects GOMAXPROCS). The i-th trial set is drawn
+// from rng identically for every worker count, and the reported violation
+// is the one of the lowest trial index, so reports match the sequential
+// path. With workers > 1 all trial sets are drawn from rng up front (the
+// sequential path stops drawing at the first violation), so the rng is left
+// in a different state when a violation exists.
+func SampledParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *rand.Rand, trials int, workers int) (Report, error) {
 	var rep Report
 	if err := validateInputs(g, h, t, f); err != nil {
 		return rep, err
 	}
 	if trials < 0 {
 		return rep, fmt.Errorf("verify: trials must be >= 0, got %d", trials)
-	}
-	ck, err := newChecker(g, h, t, mode)
-	if err != nil {
-		return rep, err
 	}
 	nCandidates := g.N()
 	if mode == lbc.Edge {
@@ -133,6 +166,26 @@ func Sampled(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *rand.Rand,
 	size := f
 	if size > nCandidates {
 		size = nCandidates
+	}
+	if workers = sp.Workers(workers); workers > 1 {
+		// Fault set 0 is the always-included empty set; sets 1..trials are
+		// the rng draws, generated in the same order as sequentially.
+		sets := make([][]int, 0, trials+1)
+		sets = append(sets, nil)
+		for i := 0; i < trials; i++ {
+			sets = append(sets, combin.RandomSubset(rng, nCandidates, size))
+		}
+		return checkSetsParallel(g, h, t, mode, workers, func(emit func([]int) bool) {
+			for _, ids := range sets {
+				if emit(ids) {
+					return
+				}
+			}
+		})
+	}
+	ck, err := newChecker(g, h, t, mode)
+	if err != nil {
+		return rep, err
 	}
 	rep.FaultSetsChecked++
 	if viol := ck.check(nil, &rep.EdgeChecks); viol != nil {
@@ -153,6 +206,103 @@ func Sampled(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *rand.Rand,
 	return rep, nil
 }
 
+// batchSize is the number of fault sets handed to a worker at a time: large
+// enough to amortize channel traffic, small enough to balance load.
+const batchSize = 16
+
+type faultBatch struct {
+	start int64 // global enumeration index of sets[0]
+	sets  [][]int
+}
+
+// checkSetsParallel fans the fault sets produced by gen out over a worker
+// pool. Every worker owns a checker (and therefore its own searchers), so
+// no search state is shared. First-violation reporting is deterministic:
+// the violation with the lowest enumeration index wins, which is exactly
+// the set the sequential scan would have flagged. stopAt carries that index
+// so workers skip sets that can no longer matter and the producer stops
+// enumerating past it.
+func checkSetsParallel(g, h *graph.Graph, t float64, mode lbc.Mode, workers int, gen func(emit func([]int) bool)) (Report, error) {
+	var rep Report
+	// Validate the checker inputs once, before spawning anything.
+	if _, err := newChecker(g, h, t, mode); err != nil {
+		return rep, err
+	}
+
+	batches := make(chan faultBatch, workers*2)
+	var stopAt atomic.Int64
+	stopAt.Store(math.MaxInt64)
+	var faultSets, edgeChecks atomic.Int64
+
+	var mu sync.Mutex
+	var best *Violation
+	bestIdx := int64(math.MaxInt64)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ck, err := newChecker(g, h, t, mode)
+			if err != nil {
+				return // unreachable: inputs validated above
+			}
+			var fs, ec int64
+			for b := range batches {
+				for i, ids := range b.sets {
+					idx := b.start + int64(i)
+					if idx >= stopAt.Load() {
+						continue // an earlier violation is already known
+					}
+					fs++
+					viol := ck.check(ids, &ec)
+					if viol == nil {
+						continue
+					}
+					mu.Lock()
+					if idx < bestIdx {
+						bestIdx = idx
+						best = viol
+					}
+					mu.Unlock()
+					for {
+						cur := stopAt.Load()
+						if idx >= cur || stopAt.CompareAndSwap(cur, idx) {
+							break
+						}
+					}
+				}
+			}
+			faultSets.Add(fs)
+			edgeChecks.Add(ec)
+		}()
+	}
+
+	var next int64
+	pending := faultBatch{}
+	gen(func(ids []int) bool {
+		pending.sets = append(pending.sets, append([]int(nil), ids...))
+		next++
+		if len(pending.sets) >= batchSize {
+			batches <- pending
+			pending = faultBatch{start: next}
+		}
+		// Stop enumerating once every further set is past a known violation.
+		return next > stopAt.Load()
+	})
+	if len(pending.sets) > 0 {
+		batches <- pending
+	}
+	close(batches)
+	wg.Wait()
+
+	rep.FaultSetsChecked = faultSets.Load()
+	rep.EdgeChecks = edgeChecks.Load()
+	rep.Violation = best
+	rep.OK = best == nil
+	return rep, nil
+}
+
 // CheckUnderFaults verifies the per-edge spanner condition for one explicit
 // fault set (vertex IDs or g-edge IDs per mode). It returns nil if the
 // condition holds and a *Violation otherwise.
@@ -169,27 +319,28 @@ func CheckUnderFaults(g, h *graph.Graph, t float64, faultIDs []int, mode lbc.Mod
 }
 
 // checker holds the reusable state for fault-set checks against a fixed
-// (g, h, t, mode).
+// (g, h, t, mode): one searcher per graph, so fault masks and search
+// scratch are allocated once and reused for every fault set.
 type checker struct {
 	g, h     *graph.Graph
 	t        float64
 	mode     lbc.Mode
 	hEdgeOf  []int // g edge ID -> h edge ID, or -1 (edge mode only)
-	blockedG sp.Blocked
-	blockedH sp.Blocked
+	sg, sh   *sp.Searcher
 	hopBound int // BFS bound for unweighted graphs
 }
 
 func newChecker(g, h *graph.Graph, t float64, mode lbc.Mode) (*checker, error) {
-	ck := &checker{g: g, h: h, t: t, mode: mode}
+	ck := &checker{
+		g: g, h: h, t: t, mode: mode,
+		sg: sp.NewSearcher(g.N(), g.M()),
+		sh: sp.NewSearcher(h.N(), h.M()),
+	}
 	switch mode {
 	case lbc.Vertex:
-		mask := make([]bool, g.N())
-		ck.blockedG = sp.Blocked{V: mask}
-		ck.blockedH = sp.Blocked{V: mask} // same vertex IDs in g and h
+		// Vertex IDs are shared between g and h; the masks are applied to
+		// both searchers in apply.
 	case lbc.Edge:
-		ck.blockedG = sp.Blocked{E: make([]bool, g.M())}
-		ck.blockedH = sp.Blocked{E: make([]bool, h.M())}
 		ck.hEdgeOf = make([]int, g.M())
 		for gid := range ck.hEdgeOf {
 			e := g.Edge(gid)
@@ -209,16 +360,23 @@ func newChecker(g, h *graph.Graph, t float64, mode lbc.Mode) (*checker, error) {
 	return ck, nil
 }
 
-// apply sets or clears the fault set in the blocked masks.
+// apply installs the fault set in both searchers' masks (val true) or
+// clears it (val false; the IDs are ignored — epoch reset is O(1)).
 func (ck *checker) apply(ids []int, val bool) {
+	if !val {
+		ck.sg.ResetBlocked()
+		ck.sh.ResetBlocked()
+		return
+	}
 	for _, id := range ids {
 		switch ck.mode {
 		case lbc.Vertex:
-			ck.blockedG.V[id] = val
+			ck.sg.BlockVertex(id)
+			ck.sh.BlockVertex(id)
 		case lbc.Edge:
-			ck.blockedG.E[id] = val
+			ck.sg.BlockEdge(id)
 			if hid := ck.hEdgeOf[id]; hid >= 0 {
-				ck.blockedH.E[hid] = val
+				ck.sh.BlockEdge(hid)
 			}
 		}
 	}
@@ -231,15 +389,16 @@ func (ck *checker) check(ids []int, edgeChecks *int64) *Violation {
 	defer ck.apply(ids, false)
 
 	g, h := ck.g, ck.h
+	weighted := g.Weighted()
 	for u := 0; u < g.N(); u++ {
-		if ck.blockedG.Vertex(u) {
+		if ck.sg.VertexBlocked(u) {
 			continue
 		}
 		// Does u have any surviving g-edge to a higher-numbered endpoint?
 		// (Each edge is checked once, from its lower endpoint.)
 		needs := false
 		for _, he := range g.Adj(u) {
-			if he.To > u && !ck.blockedG.Edge(he.ID) && !ck.blockedG.Vertex(he.To) {
+			if he.To > u && !ck.sg.EdgeBlocked(he.ID) && !ck.sg.VertexBlocked(he.To) {
 				needs = true
 				break
 			}
@@ -247,29 +406,27 @@ func (ck *checker) check(ids []int, edgeChecks *int64) *Violation {
 		if !needs {
 			continue
 		}
-		var hopDist []int
-		var wDist []float64
-		if g.Weighted() {
-			wDist = sp.Dijkstra(h, u, ck.blockedH).Dist
+		if weighted {
+			ck.sh.Dijkstra(h, u)
 		} else {
-			hopDist = sp.BFSBounded(h, u, ck.hopBound, ck.blockedH).Dist
+			ck.sh.BFSBounded(h, u, ck.hopBound)
 		}
 		for _, he := range g.Adj(u) {
 			v := he.To
-			if v < u || ck.blockedG.Edge(he.ID) || ck.blockedG.Vertex(v) {
+			if v < u || ck.sg.EdgeBlocked(he.ID) || ck.sg.VertexBlocked(v) {
 				continue
 			}
 			*edgeChecks++
 			w := g.Weight(he.ID)
 			want := ck.t * w
 			var got float64
-			if g.Weighted() {
-				got = wDist[v]
+			if weighted {
+				got = ck.sh.WeightTo(v)
 			} else {
-				if hopDist[v] == sp.Unreachable {
+				if d := ck.sh.HopDistTo(v); d == sp.Unreachable {
 					got = math.Inf(1)
 				} else {
-					got = float64(hopDist[v])
+					got = float64(d)
 				}
 			}
 			if got > want*(1+relEps) {
