@@ -11,10 +11,11 @@
 //
 // -json switches to the performance-trajectory harness instead: it
 // measures the hot paths (LBC decide on a warm searcher, modified greedy,
-// sequential vs parallel exhaustive verification and exact greedy) plus
-// spanner sizes against the Theorem 8 bound, and writes the snapshot as
-// machine-readable BENCH_core.json in the -out directory, so successive
-// PRs can diff performance.
+// sequential vs parallel exhaustive verification and exact greedy), the
+// churn experiment (batched insert/delete repair vs full rebuild on G(n,p)
+// and geometric workloads), and spanner sizes against the Theorem 8 bound,
+// and writes the snapshot as machine-readable BENCH_core.json in the -out
+// directory, so successive PRs can diff performance.
 package main
 
 import (
@@ -127,6 +128,10 @@ func runJSON(cfg bench.Config, out string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%-28s %14.0f ns/op %8.1f allocs/op\n", b.Name, b.NsPerOp, b.AllocsPerOp)
 	}
 	fmt.Fprintf(stdout, "verify speedup p%d vs p1: %.2fx\n", res.Parallelism, res.VerifySpeedup)
+	for _, c := range res.Churn {
+		fmt.Fprintf(stdout, "churn %-10s n=%d -%d/+%d per batch: repair %8.0f ns/batch, rebuild %8.0f ns/batch (%.1fx)\n",
+			c.Workload, c.N, c.DelPerBatch, c.InsPerBatch, c.RepairNs, c.RebuildNs, c.Speedup)
+	}
 	fmt.Fprintf(stdout, "wrote %s (%.1fs)\n", path, res.ElapsedSec)
 	return nil
 }

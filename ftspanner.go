@@ -39,6 +39,7 @@ import (
 	"ftspanner/internal/dist/congest"
 	"ftspanner/internal/dist/local"
 	"ftspanner/internal/dk11"
+	"ftspanner/internal/dynamic"
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
 	"ftspanner/internal/sp"
@@ -96,6 +97,12 @@ type Options struct {
 	// instead). 0 selects GOMAXPROCS; 1 forces the sequential path.
 	// Results are byte-identical for every value.
 	Parallelism int
+	// StalenessBudget tunes NewMaintainer only: the fraction of live edges
+	// a deletion batch may invalidate before the maintainer rebuilds the
+	// spanner from scratch instead of repairing it edge by edge. 0 selects
+	// the default (0.25); values >= 1 effectively disable rebuilds. Build
+	// and BuildExact ignore it.
+	StalenessBudget float64
 }
 
 // normalizeMode maps the zero FaultMode to VertexFaults, so that the
@@ -213,6 +220,45 @@ func BuildCONGEST(g *Graph, opts Options, iterations int, seed int64) (*Graph, *
 // (Theorem 14) in the CONGEST model: O(k²) rounds, O(log n)-bit messages.
 func BaswanaSenCONGEST(g *Graph, k int, seed int64) (*Graph, *DistResult, error) {
 	return congest.BaswanaSen(g, k, seed)
+}
+
+// Maintainer keeps an F-fault-tolerant (2K-1)-spanner in sync with a graph
+// under batched edge insertions and deletions, re-deciding only the edges
+// whose stored LBC certificates an update actually broke (with a full
+// rebuild fallback once a staleness budget is exceeded). See NewMaintainer.
+type Maintainer = dynamic.Maintainer
+
+// MaintainerStats exposes a Maintainer's cumulative effort counters:
+// inserts/deletes applied, witnesses invalidated, LBC re-decisions, and the
+// repair-vs-rebuild batch split.
+type MaintainerStats = dynamic.Stats
+
+// EdgeUpdate names one endpoint pair of an UpdateBatch, with the weight for
+// insertions into weighted graphs (0 means weight 1 on unweighted graphs).
+type EdgeUpdate = dynamic.Update
+
+// UpdateBatch is one atomic group of edge updates for a Maintainer:
+// deletions apply before insertions, and the whole batch is validated
+// before anything mutates.
+type UpdateBatch = dynamic.Batch
+
+// NewMaintainer builds the spanner of g per opts (like Build, recording the
+// per-edge certificates) and returns a Maintainer that keeps it valid under
+// Maintainer.ApplyBatch updates. The graph is cloned: later batches never
+// mutate g. Query the maintained pair with Maintainer.Graph and
+// Maintainer.Spanner, and the repair counters with Maintainer.Stats.
+//
+// After every successful ApplyBatch the spanner satisfies the same
+// F-fault-tolerant (2K-1)-spanner property Build guarantees for the updated
+// graph; it may differ edge-for-edge from a fresh Build, since repairs
+// decide against the evolved spanner rather than the greedy prefix.
+func NewMaintainer(g *Graph, opts Options) (*Maintainer, error) {
+	return dynamic.New(g, dynamic.Config{
+		K:               opts.K,
+		F:               opts.F,
+		Mode:            opts.mode(),
+		StalenessBudget: opts.StalenessBudget,
+	})
 }
 
 // VerifyReport summarizes a verification run; see Verify.

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ftspanner/internal/core"
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
+	"ftspanner/internal/verify"
+)
+
+// ChurnPoint is one repair-vs-rebuild measurement on an evolving graph: the
+// same batch schedule is serviced once by the dynamic Maintainer (batched
+// LBC repair) and once by rebuilding the spanner from scratch after every
+// batch with a warm searcher. Speedup > 1 means repair beat rebuild.
+type ChurnPoint struct {
+	Workload    string  `json:"workload"`
+	N           int     `json:"n"`
+	M0          int     `json:"m0"`
+	K           int     `json:"k"`
+	F           int     `json:"f"`
+	DelPerBatch int     `json:"deletes_per_batch"`
+	InsPerBatch int     `json:"inserts_per_batch"`
+	Batches     int     `json:"batches"`
+	RepairNs    float64 `json:"repair_ns_per_batch"`
+	RebuildNs   float64 `json:"rebuild_ns_per_batch"`
+	Speedup     float64 `json:"speedup_repair_vs_rebuild"`
+	Invalidated int     `json:"invalidated"`
+	Redecided   int     `json:"redecided"`
+	Rebuilds    int     `json:"rebuild_batches"`
+}
+
+// churnSchedule is a precomputed deterministic batch sequence, so the
+// repair run and the rebuild baseline service identical updates.
+type churnSchedule struct {
+	start   *graph.Graph
+	batches []dynamic.Batch
+	// after[i] is the graph after batches[0..i] — the rebuild baseline's
+	// inputs, cloned up front so the baseline loop times only the builds.
+	after []*graph.Graph
+}
+
+// makeSchedule evolves a clone of g through `batches` random batches of
+// dels deletions + ins insertions.
+func makeSchedule(rng *rand.Rand, g *graph.Graph, batches, dels, ins int) (*churnSchedule, error) {
+	sched := &churnSchedule{start: g}
+	cur := g.Clone()
+	n := cur.N()
+	for b := 0; b < batches; b++ {
+		var batch dynamic.Batch
+		for d := 0; d < dels && cur.M() > 0; d++ {
+			edges := cur.Edges()
+			e := edges[rng.Intn(len(edges))]
+			batch.Delete = append(batch.Delete, dynamic.Update{U: e.U, V: e.V})
+			if _, err := cur.RemoveEdgeBetween(e.U, e.V); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < ins; {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || cur.HasEdge(u, v) {
+				continue
+			}
+			w := 1.0
+			if cur.Weighted() {
+				w = rng.Float64() + 0.1
+			}
+			batch.Insert = append(batch.Insert, dynamic.Update{U: u, V: v, W: w})
+			cur.MustAddEdgeW(u, v, w)
+			i++
+		}
+		sched.batches = append(sched.batches, batch)
+		sched.after = append(sched.after, cur.Clone())
+	}
+	return sched, nil
+}
+
+// runChurnPoint services the schedule both ways and cross-checks the final
+// maintained spanner with sampled verification (untimed).
+func runChurnPoint(rng *rand.Rand, workload string, g *graph.Graph, k, f, batches, dels, ins int) (ChurnPoint, error) {
+	pt := ChurnPoint{
+		Workload: workload, N: g.N(), M0: g.M(), K: k, F: f,
+		DelPerBatch: dels, InsPerBatch: ins, Batches: batches,
+	}
+	sched, err := makeSchedule(rng, g, batches, dels, ins)
+	if err != nil {
+		return pt, err
+	}
+
+	// Repair path: one Maintainer services every batch. Construction (the
+	// initial full build) is untimed: the comparison is steady-state batch
+	// service cost.
+	m, err := dynamic.New(g, dynamic.Config{K: k, F: f})
+	if err != nil {
+		return pt, err
+	}
+	start := time.Now()
+	for _, b := range sched.batches {
+		if err := m.ApplyBatch(b); err != nil {
+			return pt, err
+		}
+	}
+	pt.RepairNs = float64(time.Since(start).Nanoseconds()) / float64(batches)
+	st := m.Stats()
+	pt.Invalidated = st.Invalidated
+	pt.Redecided = st.Redecided
+	pt.Rebuilds = st.RebuildBatches
+
+	// Rebuild baseline: a from-scratch build on every post-batch graph,
+	// with a warm searcher (its best case).
+	s := sp.NewSearcher(g.N(), g.EdgeIDLimit())
+	start = time.Now()
+	for _, ag := range sched.after {
+		if _, _, err := core.ModifiedGreedyWith(s, ag, k, f, lbc.Vertex); err != nil {
+			return pt, err
+		}
+	}
+	pt.RebuildNs = float64(time.Since(start).Nanoseconds()) / float64(batches)
+	pt.Speedup = pt.RebuildNs / pt.RepairNs
+
+	// Correctness spot-check, untimed: the maintained spanner must verify
+	// against the final graph.
+	vrng := rand.New(rand.NewSource(1))
+	rep, err := verify.Sampled(m.Graph(), m.Spanner(), float64(core.Stretch(k)), f, lbc.Vertex, vrng, 20)
+	if err != nil {
+		return pt, err
+	}
+	if !rep.OK {
+		return pt, fmt.Errorf("bench: churn %s: maintained spanner invalid: %v", workload, rep.Violation)
+	}
+	return pt, nil
+}
+
+// runChurnBench produces the repair-vs-rebuild series for BENCH_core.json:
+// small-batch churn on two workload families (G(n,p) and weighted random
+// geometric), plus one large-batch point per family showing where repair
+// stops being the obvious winner.
+func runChurnBench(cfg Config) ([]ChurnPoint, error) {
+	n, batches := 192, 24
+	if cfg.Quick {
+		n, batches = 96, 12
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 200))
+	gnp, err := gen.GNP(rng, n, 12/float64(n-1)) // expected degree ~12
+	if err != nil {
+		return nil, err
+	}
+	geo, _, err := gen.Geometric(rng, n, 0.16, true)
+	if err != nil {
+		return nil, err
+	}
+	var out []ChurnPoint
+	for _, w := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"gnp", gnp}, {"geometric", geo}} {
+		for _, batch := range []struct{ dels, ins int }{{2, 2}, {8, 8}} {
+			pt, err := runChurnPoint(rng, w.name, w.g, 2, 1, batches, batch.dels, batch.ins)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}

@@ -34,6 +34,9 @@ type CoreBench struct {
 	VerifySpeedup float64 `json:"verify_speedup_parallel_vs_serial"`
 	// Spanners are measured sizes against the Theorem 8 SizeBound.
 	Spanners []SpannerPoint `json:"spanners"`
+	// Churn is the dynamic-maintenance series: batched repair vs full
+	// rebuild on evolving graphs (see ChurnPoint).
+	Churn []ChurnPoint `json:"churn"`
 }
 
 // BenchPoint is one measured hot path.
@@ -145,7 +148,10 @@ func RunCoreBench(cfg Config) (*CoreBench, error) {
 	verifyAt := func(w int) func() {
 		return func() {
 			rep, err := verify.ExhaustiveParallel(gV, hV, 3, 2, lbc.Vertex, w)
-			if err != nil || !rep.OK {
+			if err != nil {
+				panic(err)
+			}
+			if !rep.OK {
 				panic(rep.Violation)
 			}
 		}
@@ -203,6 +209,13 @@ func RunCoreBench(cfg Config) (*CoreBench, error) {
 			})
 		}
 	}
+
+	// Dynamic maintenance: batched repair vs from-scratch rebuild per batch.
+	churn, err := runChurnBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Churn = churn
 
 	out.ElapsedSec = time.Since(start).Seconds()
 	return out, nil

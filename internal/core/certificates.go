@@ -24,36 +24,91 @@ type Certificate struct {
 	Cut []int
 }
 
-// ModifiedGreedyWithCertificates is ModifiedGreedy (vertex faults only)
-// that additionally returns one Certificate per spanner edge, for auditing
-// the Lemma 6 blocking-set construction.
-func ModifiedGreedyWithCertificates(g *graph.Graph, k, f int) (*graph.Graph, []Certificate, Stats, error) {
+// EdgeDecision is the full record of one greedy edge decision — what the
+// plain build discards. For an added edge it keeps the YES cut certificate;
+// for a skipped edge it keeps the coverage witness (lbc.Result.PathEdges):
+// the spanner-edge IDs of the disjoint short paths that prove every fault
+// set of size at most f leaves a (2k-1)-hop u-v path. The witness stays
+// valid as the spanner gains edges and is broken only when one of its edges
+// is removed, which is the repair trigger of the dynamic maintainer.
+type EdgeDecision struct {
+	// GEdgeID is the decided edge's ID in the input graph g.
+	GEdgeID int
+	// Added reports whether the edge entered the spanner.
+	Added bool
+	// HEdgeID is the edge's ID in the spanner when Added, else -1.
+	HEdgeID int
+	// Cut is the YES certificate (vertex IDs, or h-edge IDs in edge mode).
+	// Nil when the edge was not added.
+	Cut []int
+	// Witness is the coverage witness (h-edge IDs) when the edge was not
+	// added. Nil when Added. Note an empty (nil) witness on a non-added
+	// edge cannot occur: a NO answer always found at least one path.
+	Witness []int
+	// Passes is the number of BFS passes the decision used.
+	Passes int
+}
+
+// ModifiedGreedyTraced is ModifiedGreedyWith additionally returning one
+// EdgeDecision per considered edge, in consideration order. The spanner is
+// byte-identical to ModifiedGreedy's; the trace is what makes incremental
+// maintenance possible (internal/dynamic seeds its certificate tables from
+// it) and what the blocking-set audits consume.
+//
+// A nil s allocates a fresh searcher. Unlike the plain build, the trace
+// retains copies of every cut and witness, so this allocates O(total
+// certificate size) on top of the spanner itself.
+func ModifiedGreedyTraced(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, []EdgeDecision, Stats, error) {
 	var stats Stats
-	if err := validateParams(g, k, f, lbc.Vertex); err != nil {
+	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, nil, stats, err
 	}
-	order := insertionOrder(g.M())
-	if g.Weighted() {
-		order = g.EdgeIDsByWeight()
+	if s == nil {
+		s = sp.NewSearcher(g.N(), g.EdgeIDLimit())
+	} else {
+		s.Grow(g.N(), g.EdgeIDLimit())
 	}
 	t := Stretch(k)
 	h := g.EmptyLike()
-	s := sp.NewSearcher(g.N(), g.M())
-	var certs []Certificate
+	order := considerationOrder(g)
+	decisions := make([]EdgeDecision, 0, len(order))
 	for _, id := range order {
 		e := g.Edge(id)
 		stats.EdgesConsidered++
-		res, err := lbc.DecideWith(s, h, e.U, e.V, t, f, lbc.Vertex)
+		res, err := lbc.DecideWith(s, h, e.U, e.V, t, f, mode)
 		if err != nil {
 			return nil, nil, stats, fmt.Errorf("core: LBC on edge {%d,%d}: %w", e.U, e.V, err)
 		}
 		stats.BFSPasses += res.Passes
+		dec := EdgeDecision{GEdgeID: id, HEdgeID: -1, Passes: res.Passes}
 		if res.Yes {
-			hid := h.MustAddEdgeW(e.U, e.V, e.W)
-			// res.Cut aliases the searcher's scratch; copy to retain it.
-			certs = append(certs, Certificate{EdgeID: hid, Cut: append([]int(nil), res.Cut...)})
+			dec.Added = true
+			dec.HEdgeID = h.MustAddEdgeW(e.U, e.V, e.W)
+			// res.Cut aliases the searcher's scratch; copy to retain.
+			dec.Cut = append([]int(nil), res.Cut...)
+		} else {
+			dec.Witness = append([]int(nil), res.PathEdges...)
 		}
+		decisions = append(decisions, dec)
 	}
 	stats.EdgesAdded = h.M()
+	return h, decisions, stats, nil
+}
+
+// ModifiedGreedyWithCertificates is ModifiedGreedy (vertex faults only)
+// that additionally returns one Certificate per spanner edge, for auditing
+// the Lemma 6 blocking-set construction. It is the added-edges projection
+// of ModifiedGreedyTraced.
+func ModifiedGreedyWithCertificates(g *graph.Graph, k, f int) (*graph.Graph, []Certificate, Stats, error) {
+	h, decisions, stats, err := ModifiedGreedyTraced(nil, g, k, f, lbc.Vertex)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	certs := make([]Certificate, 0, h.M())
+	for _, dec := range decisions {
+		if dec.Added {
+			certs = append(certs, Certificate{EdgeID: dec.HEdgeID, Cut: dec.Cut})
+		}
+	}
 	return h, certs, stats, nil
 }

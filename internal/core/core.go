@@ -76,11 +76,7 @@ func ModifiedGreedy(g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stat
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, Stats{}, err
 	}
-	order := insertionOrder(g.M())
-	if g.Weighted() {
-		order = g.EdgeIDsByWeight()
-	}
-	return ModifiedGreedyWithOrder(g, k, f, mode, order)
+	return ModifiedGreedyWithOrder(g, k, f, mode, considerationOrder(g))
 }
 
 // ModifiedGreedyWithOrder is ModifiedGreedy with an explicit edge
@@ -103,11 +99,7 @@ func ModifiedGreedyWith(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode)
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, Stats{}, err
 	}
-	order := insertionOrder(g.M())
-	if g.Weighted() {
-		order = g.EdgeIDsByWeight()
-	}
-	return modifiedGreedy(s, g, k, f, mode, order)
+	return modifiedGreedy(s, g, k, f, mode, considerationOrder(g))
 }
 
 func modifiedGreedy(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode, order []int) (*graph.Graph, Stats, error) {
@@ -115,7 +107,7 @@ func modifiedGreedy(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode, ord
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, stats, err
 	}
-	if err := checkPermutation(order, g.M()); err != nil {
+	if err := checkOrder(g, order); err != nil {
 		return nil, stats, err
 	}
 	if s == nil {
@@ -168,10 +160,7 @@ func ExactGreedyParallel(g *graph.Graph, k, f int, mode lbc.Mode, workers int) (
 	workers = sp.Workers(workers)
 	t := Stretch(k)
 	h := g.EmptyLike()
-	order := insertionOrder(g.M())
-	if g.Weighted() {
-		order = g.EdgeIDsByWeight()
-	}
+	order := considerationOrder(g)
 	// One searcher per worker, reused across every edge of the build.
 	searchers := make([]*sp.Searcher, workers)
 	for i := range searchers {
@@ -209,8 +198,10 @@ func faultCandidates(h *graph.Graph, u, v int, mode lbc.Mode) []int {
 			}
 		}
 	case lbc.Edge:
-		for id := 0; id < h.M(); id++ {
-			candidates = append(candidates, id)
+		for id := 0; id < h.EdgeIDLimit(); id++ {
+			if h.EdgeAlive(id) {
+				candidates = append(candidates, id)
+			}
 		}
 	}
 	return candidates
@@ -235,7 +226,7 @@ func existsFaultSetExceeding(s *sp.Searcher, h *graph.Graph, u, v, f int, thresh
 	if size > len(candidates) {
 		size = len(candidates)
 	}
-	s.Grow(h.N(), h.M())
+	s.Grow(h.N(), h.EdgeIDLimit())
 	var tried int64
 	found := combin.ForEach(len(candidates), size, func(idx []int) bool {
 		tried++
@@ -282,7 +273,7 @@ func existsFaultSetExceedingParallel(searchers []*sp.Searcher, h *graph.Graph, u
 		wg.Add(1)
 		go func(s *sp.Searcher) {
 			defer wg.Done()
-			s.Grow(h.N(), h.M())
+			s.Grow(h.N(), h.EdgeIDLimit())
 			var local int64
 			for first := range jobs {
 				if found.Load() {
@@ -314,22 +305,25 @@ func existsFaultSetExceedingParallel(searchers []*sp.Searcher, h *graph.Graph, u
 	return found.Load(), tried.Load()
 }
 
-func insertionOrder(m int) []int {
-	order := make([]int, m)
-	for i := range order {
-		order[i] = i
+// considerationOrder is the canonical greedy order: ascending live edge ID
+// (insertion order) on unweighted graphs, nondecreasing weight on weighted
+// graphs. Both skip the dead edge-ID slots left by graph.RemoveEdge.
+func considerationOrder(g *graph.Graph) []int {
+	if g.Weighted() {
+		return g.EdgeIDsByWeight()
 	}
-	return order
+	return g.EdgeIDs()
 }
 
-func checkPermutation(order []int, m int) error {
-	if len(order) != m {
-		return fmt.Errorf("core: order has %d entries, want %d", len(order), m)
+// checkOrder validates that order is a permutation of the live edge IDs of g.
+func checkOrder(g *graph.Graph, order []int) error {
+	if len(order) != g.M() {
+		return fmt.Errorf("core: order has %d entries, want %d", len(order), g.M())
 	}
-	seen := make([]bool, m)
+	seen := make([]bool, g.EdgeIDLimit())
 	for _, id := range order {
-		if id < 0 || id >= m {
-			return fmt.Errorf("core: order entry %d out of range [0,%d)", id, m)
+		if id < 0 || id >= len(seen) || !g.EdgeAlive(id) {
+			return fmt.Errorf("core: order entry %d is not a live edge ID", id)
 		}
 		if seen[id] {
 			return fmt.Errorf("core: duplicate edge ID %d in order", id)

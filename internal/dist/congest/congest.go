@@ -158,14 +158,14 @@ func sampleProb(n, k int) float64 {
 // assemble unions the edges marked by every node program into one spanner,
 // inserting in edge-ID order so equal runs produce byte-identical graphs.
 func assemble(g *graph.Graph, states []*bsState) *graph.Graph {
-	in := make([]bool, g.M())
+	in := make([]bool, g.EdgeIDLimit())
 	for _, s := range states {
 		for _, id := range s.marked {
 			in[id] = true
 		}
 	}
 	h := g.EmptyLike()
-	for id := 0; id < g.M(); id++ {
+	for id := 0; id < g.EdgeIDLimit(); id++ {
 		if in[id] {
 			e := g.Edge(id)
 			h.MustAddEdgeW(e.U, e.V, e.W)

@@ -78,7 +78,11 @@ func Padded(g *graph.Graph, beta float64, partitions int, seed int64) (*Decomp, 
 	}
 	d := &Decomp{Beta: beta}
 	rng := rand.New(rand.NewSource(seed))
-	covered := make([]bool, g.M())
+	covered := make([]bool, g.EdgeIDLimit())
+	for id := range covered {
+		// Dead edge-ID slots (graph.RemoveEdge free list) need no covering.
+		covered[id] = !g.EdgeAlive(id)
+	}
 	uncovered := g.M()
 	limit := partitions
 	if limit == 0 {
@@ -100,7 +104,7 @@ func Padded(g *graph.Graph, beta float64, partitions int, seed int64) (*Decomp, 
 		}
 		d.Centers = append(d.Centers, centers)
 		d.Assign = append(d.Assign, assign)
-		for id := 0; id < g.M(); id++ {
+		for id := 0; id < g.EdgeIDLimit(); id++ {
 			if !covered[id] {
 				e := g.Edge(id)
 				if assign[e.U] == assign[e.V] {
@@ -213,7 +217,10 @@ func (d *Decomp) Members(p int) [][]int {
 // cluster of at least one partition.
 func (d *Decomp) CoveredEdges(g *graph.Graph) int {
 	count := 0
-	for id := 0; id < g.M(); id++ {
+	for id := 0; id < g.EdgeIDLimit(); id++ {
+		if !g.EdgeAlive(id) {
+			continue
+		}
 		e := g.Edge(id)
 		for p := range d.Assign {
 			if d.Assign[p][e.U] == d.Assign[p][e.V] {

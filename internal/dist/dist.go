@@ -130,7 +130,7 @@ func Run(g *graph.Graph, procs []Proc, rounds, bandwidth int) (*Result, error) {
 	}
 	res := &Result{LogicalRounds: rounds}
 	inbox := make([][]Message, g.N())
-	dirBits := make([]int, 2*g.M()) // per-round load of each edge direction
+	dirBits := make([]int, 2*g.EdgeIDLimit()) // per-round load of each edge direction
 	for round := 1; round <= rounds; round++ {
 		next := make([][]Message, g.N())
 		for i := range dirBits {

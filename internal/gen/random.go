@@ -28,28 +28,37 @@ func GNP(rng *rand.Rand, n int, p float64) (*graph.Graph, error) {
 		return Complete(n), nil
 	}
 	// Walk pair indices 0..C(n,2)-1 in lexicographic order, skipping ahead by
-	// Geometric(p) each step (Batagelj–Brandes).
+	// Geometric(p) each step (Batagelj–Brandes). The (u, base, rowLen) row
+	// cursor carries across iterations: idx only ever increases, so the
+	// inner row walk advances at most n times over the whole generation and
+	// the total cost is O(n + m). (Mapping each idx from scratch with
+	// pairFromIndex would walk from row 0 every time — O(n·m) overall.)
 	logq := math.Log1p(-p)
 	total := int64(n) * int64(n-1) / 2
 	idx := int64(-1)
+	u, base, rowLen := 0, int64(0), int64(n-1)
 	for {
 		skip := int64(math.Floor(math.Log(1-rng.Float64()) / logq))
 		idx += 1 + skip
 		if idx >= total {
 			break
 		}
-		u, v := pairFromIndex(idx, n)
-		g.MustAddEdge(u, v)
+		for idx-base >= rowLen {
+			base += rowLen
+			rowLen--
+			u++
+		}
+		g.MustAddEdge(u, u+1+int(idx-base))
 	}
 	return g, nil
 }
 
 // pairFromIndex maps a lexicographic pair index to the pair (u, v), u < v,
 // where index 0 is (0,1), 1 is (0,2), ..., n-2 is (0,n-1), n-1 is (1,2), etc.
+// GNP's hot loop carries an incremental cursor instead of calling this (one
+// call is an O(n) row walk from the top); it remains as the reference
+// mapping and the oracle of GNP's regression test.
 func pairFromIndex(idx int64, n int) (int, int) {
-	// Row u holds (n-1-u) pairs. Find u by walking rows; the loop runs at
-	// most n times total across all calls in GNP because idx increases.
-	// For standalone calls a linear walk is still O(n), which is fine.
 	u := 0
 	rowLen := int64(n - 1)
 	for idx >= rowLen {
@@ -173,8 +182,22 @@ func Geometric(rng *rand.Rand, n int, radius float64, weighted bool) (*graph.Gra
 	for i, p := range pts {
 		cx, cy := int(p.X/cell), int(p.Y/cell)
 		for dy := -1; dy <= 1; dy++ {
+			ny := cy + dy
+			if ny < 0 || ny >= cols {
+				continue
+			}
 			for dx := -1; dx <= 1; dx++ {
-				for _, j := range buckets[(cy+dy)*cols+(cx+dx)] {
+				nx := cx + dx
+				// Clamping to the grid matters beyond skipping empty cells:
+				// the flattened key ny*cols+nx would otherwise wrap an
+				// out-of-range nx into a cell of an adjacent row, aliasing
+				// far-away points into the candidate set (wasted distance
+				// checks; every aliased candidate still failed the radius
+				// test, so the output is unchanged).
+				if nx < 0 || nx >= cols {
+					continue
+				}
+				for _, j := range buckets[ny*cols+nx] {
 					if j <= i {
 						continue
 					}
@@ -194,7 +217,8 @@ func Geometric(rng *rand.Rand, n int, radius float64, weighted bool) (*graph.Gra
 }
 
 // BarabasiAlbert returns a preferential-attachment graph: starting from a
-// clique on m0 = attach vertices, each subsequent vertex attaches to `attach`
+// seed clique on the attach+1 vertices 0..attach (so every seed vertex
+// already has degree `attach`), each subsequent vertex attaches to `attach`
 // distinct existing vertices chosen with probability proportional to degree.
 func BarabasiAlbert(rng *rand.Rand, n, attach int) (*graph.Graph, error) {
 	if attach < 1 {

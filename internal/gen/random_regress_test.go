@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGNPMatchesPairFromIndexOracle pins that GNP's incremental row cursor
+// produces exactly the edges the reference pairFromIndex mapping assigns to
+// the same skip-sampling sequence — i.e. the O(n+m) fix changed nothing
+// about the output distribution or per-seed determinism.
+func TestGNPMatchesPairFromIndexOracle(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		seed int64
+	}{
+		{n: 2, p: 0.5, seed: 1},
+		{n: 30, p: 0.3, seed: 42},
+		{n: 57, p: 0.011, seed: 7},
+		{n: 2000, p: 0.0008, seed: 12345},
+	}
+	for _, tc := range cases {
+		g, err := GNP(rand.New(rand.NewSource(tc.seed)), tc.n, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replay the identical rng skip sequence through the reference
+		// mapping (this is byte-for-byte the pre-fix enumeration).
+		rng := rand.New(rand.NewSource(tc.seed))
+		logq := math.Log1p(-tc.p)
+		total := int64(tc.n) * int64(tc.n-1) / 2
+		idx := int64(-1)
+		var want [][2]int
+		for {
+			skip := int64(math.Floor(math.Log(1-rng.Float64()) / logq))
+			idx += 1 + skip
+			if idx >= total {
+				break
+			}
+			u, v := pairFromIndex(idx, tc.n)
+			want = append(want, [2]int{u, v})
+		}
+		got := g.Edges()
+		if len(got) != len(want) {
+			t.Fatalf("n=%d p=%v: %d edges, oracle has %d", tc.n, tc.p, len(got), len(want))
+		}
+		for i, w := range want {
+			if got[i].U != w[0] || got[i].V != w[1] {
+				t.Fatalf("n=%d p=%v: edge %d = {%d,%d}, oracle {%d,%d}",
+					tc.n, tc.p, i, got[i].U, got[i].V, w[0], w[1])
+			}
+		}
+	}
+}
+
+// BenchmarkGNPSparseLarge exercises the asymptotics the cursor fix is
+// about: large n, sparse p. Before the fix each sampled edge re-walked the
+// row prefix (O(n·m) total ≈ 10^10 row steps at this size); now the row
+// cursor advances at most n times over the whole generation.
+func BenchmarkGNPSparseLarge(b *testing.B) {
+	const n = 100000
+	const p = 4e-5 // ~200k expected edges
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := GNP(rng, n, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.M() == 0 {
+			b.Fatal("empty sample")
+		}
+	}
+}
+
+// TestGeometricSeedStable pins the bucketed generator's per-seed output
+// (the grid-clamp fix must not change which edges are found — aliased
+// candidates always failed the radius test; they only wasted checks).
+func TestGeometricSeedStable(t *testing.T) {
+	g, pts, err := Geometric(rand.New(rand.NewSource(9)), 300, 0.09, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force oracle over the same points.
+	want := 0
+	var wantWeight float64
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d <= 0.09 {
+				want++
+				wantWeight += d
+			}
+		}
+	}
+	if g.M() != want {
+		t.Fatalf("bucketed geometric found %d edges, brute force %d", g.M(), want)
+	}
+	if diff := math.Abs(g.TotalWeight() - wantWeight); diff > 1e-9 {
+		t.Fatalf("total weight diverged from brute force by %v", diff)
+	}
+}
+
+// TestGeometricCornerCells drives points into the boundary cells where the
+// pre-clamp flattened key wrapped across rows, and checks against brute
+// force there too.
+func TestGeometricCornerCells(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g, pts, err := Geometric(rand.New(rand.NewSource(seed)), 120, 0.51, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				if pts[i].Dist(pts[j]) <= 0.51 {
+					want++
+				}
+			}
+		}
+		if g.M() != want {
+			t.Fatalf("seed %d: bucketed %d edges, brute force %d", seed, g.M(), want)
+		}
+	}
+}
+
+// TestBarabasiAlbertSeedClique asserts the documented seed: a clique on the
+// attach+1 vertices 0..attach.
+func TestBarabasiAlbertSeedClique(t *testing.T) {
+	for _, attach := range []int{1, 2, 4} {
+		g, err := BarabasiAlbert(rand.New(rand.NewSource(3)), 30, attach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliqueEdges := 0
+		for u := 0; u <= attach; u++ {
+			for v := u + 1; v <= attach; v++ {
+				if !g.HasEdge(u, v) {
+					t.Errorf("attach=%d: seed clique missing edge {%d,%d}", attach, u, v)
+				}
+				cliqueEdges++
+			}
+		}
+		if want := (attach + 1) * attach / 2; cliqueEdges != want {
+			t.Errorf("attach=%d: counted %d seed-clique pairs, want %d", attach, cliqueEdges, want)
+		}
+	}
+}

@@ -3,9 +3,14 @@
 //
 // Graphs are simple (no self-loops, no parallel edges), undirected, and may
 // carry non-negative edge weights. Vertices are identified by dense integer
-// IDs in [0, N). Edges are identified by dense integer IDs in [0, M) in
-// insertion order, which lets algorithms annotate edges with side tables and
-// lets fault sets be represented as bitmasks over edge IDs.
+// IDs in [0, N). Edges are identified by stable integer IDs in
+// [0, EdgeIDLimit()): edges are assigned IDs in insertion order, and
+// RemoveEdge retires an ID into a free list (later insertions reuse it)
+// instead of renumbering, so algorithms can annotate edges with side tables
+// and represent fault sets as bitmasks over edge IDs that stay valid across
+// removals of other edges. On a graph that has never had an edge removed,
+// EdgeIDLimit() == M() and IDs are exactly the dense 0..M-1 of the classic
+// representation.
 //
 // The representation is a classic adjacency list plus an edge list: O(1)
 // amortized edge insertion, O(deg) adjacency iteration, O(n+m) clone. This is
@@ -56,6 +61,10 @@ type Graph struct {
 	weighted bool
 	adj      [][]HalfEdge
 	edges    []Edge
+	// free lists the dead slots of edges (IDs retired by RemoveEdge, in
+	// retirement order). A dead slot holds Edge{U: -1, V: -1} so that alive
+	// checks need no side table; AddEdgeW pops from free before growing edges.
+	free []int
 }
 
 // New returns an unweighted graph on n vertices (IDs 0..n-1) and no edges.
@@ -75,8 +84,34 @@ func (g *Graph) Weighted() bool { return g.weighted }
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
 
-// M returns the number of edges.
-func (g *Graph) M() int { return len(g.edges) }
+// M returns the number of (live) edges.
+func (g *Graph) M() int { return len(g.edges) - len(g.free) }
+
+// EdgeIDLimit returns the exclusive upper bound of the edge-ID space: every
+// live edge has an ID in [0, EdgeIDLimit()). Side tables and fault masks
+// indexed by edge ID must be sized by this, not by M(), because RemoveEdge
+// leaves holes: after removals, M() < EdgeIDLimit() and some IDs below the
+// limit are dead (see EdgeAlive).
+func (g *Graph) EdgeIDLimit() int { return len(g.edges) }
+
+// EdgeAlive reports whether id identifies a live edge. IDs retired by
+// RemoveEdge are dead until AddEdgeW reuses them.
+func (g *Graph) EdgeAlive(id int) bool {
+	return id >= 0 && id < len(g.edges) && g.edges[id].U >= 0
+}
+
+// EdgeIDs returns the IDs of all live edges in ascending ID order. On a
+// graph without removals this is simply 0..M()-1 — the insertion order the
+// unweighted greedy algorithms use.
+func (g *Graph) EdgeIDs() []int {
+	ids := make([]int, 0, g.M())
+	for id := range g.edges {
+		if g.edges[id].U >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
 
 // Degree returns the number of edges incident to u.
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
@@ -97,24 +132,33 @@ func (g *Graph) MaxDegree() int {
 // iteration is the innermost loop of every algorithm in this module.
 func (g *Graph) Adj(u int) []HalfEdge { return g.adj[u] }
 
-// Edge returns the edge with the given ID.
+// Edge returns the edge with the given ID. For a dead ID (see RemoveEdge)
+// the returned Edge has U = V = -1; callers walking the raw ID space must
+// check EdgeAlive first.
 func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 
-// Edges returns a copy of the edge list in insertion order.
+// Edges returns a copy of the live edge list in ascending edge-ID order
+// (insertion order when no edge was ever removed).
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, len(g.edges))
-	copy(out, g.edges)
+	out := make([]Edge, 0, g.M())
+	for _, e := range g.edges {
+		if e.U >= 0 {
+			out = append(out, e)
+		}
+	}
 	return out
 }
 
 // Weight returns the weight of edge id (1 for unweighted graphs).
 func (g *Graph) Weight(id int) float64 { return g.edges[id].W }
 
-// TotalWeight returns the sum of all edge weights.
+// TotalWeight returns the sum of all live edge weights.
 func (g *Graph) TotalWeight() float64 {
 	var sum float64
 	for _, e := range g.edges {
-		sum += e.W
+		if e.U >= 0 {
+			sum += e.W
+		}
 	}
 	return sum
 }
@@ -144,11 +188,8 @@ func (g *Graph) AddEdgeW(u, v int, w float64) (int, error) {
 	if u == v {
 		return 0, fmt.Errorf("graph: self-loop at vertex %d", u)
 	}
-	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
-		return 0, fmt.Errorf("graph: invalid weight %v for edge {%d,%d}", w, u, v)
-	}
-	if !g.weighted && w != 1 {
-		return 0, fmt.Errorf("graph: weight %v on unweighted graph (must be 1)", w)
+	if err := CheckWeight(g, w); err != nil {
+		return 0, fmt.Errorf("%w for edge {%d,%d}", err, u, v)
 	}
 	if g.HasEdge(u, v) {
 		return 0, fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
@@ -156,11 +197,75 @@ func (g *Graph) AddEdgeW(u, v int, w float64) (int, error) {
 	if u > v {
 		u, v = v, u
 	}
-	id := len(g.edges)
-	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	var id int
+	if nf := len(g.free); nf > 0 {
+		// Reuse the most recently retired ID so the ID space stays compact.
+		id = g.free[nf-1]
+		g.free = g.free[:nf-1]
+		g.edges[id] = Edge{U: u, V: v, W: w}
+	} else {
+		id = len(g.edges)
+		g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	}
 	g.adj[u] = append(g.adj[u], HalfEdge{To: v, ID: id})
 	g.adj[v] = append(g.adj[v], HalfEdge{To: u, ID: id})
 	return id, nil
+}
+
+// RemoveEdge deletes the edge with the given ID. The ID is retired into a
+// free list and stays dead (EdgeAlive(id) == false) until a later AddEdgeW
+// reuses it; no other edge is renumbered, so side tables and fault masks
+// keyed by edge ID remain valid for every surviving edge. The adjacency
+// entries are removed by swap-remove, so the operation is O(deg(u)+deg(v))
+// — but note it perturbs the adjacency iteration order of the endpoints.
+func (g *Graph) RemoveEdge(id int) error {
+	if !g.EdgeAlive(id) {
+		return fmt.Errorf("graph: remove of dead edge ID %d (limit %d)", id, len(g.edges))
+	}
+	e := g.edges[id]
+	g.removeHalf(e.U, id)
+	g.removeHalf(e.V, id)
+	g.edges[id] = Edge{U: -1, V: -1}
+	g.free = append(g.free, id)
+	return nil
+}
+
+// RemoveEdgeBetween removes the edge {u, v} and returns the ID it occupied.
+func (g *Graph) RemoveEdgeBetween(u, v int) (int, error) {
+	id, ok := g.EdgeBetween(u, v)
+	if !ok {
+		return 0, fmt.Errorf("graph: remove of missing edge {%d,%d}", u, v)
+	}
+	return id, g.RemoveEdge(id)
+}
+
+// removeHalf swap-removes the adjacency entry of edge id at vertex u.
+func (g *Graph) removeHalf(u, id int) {
+	a := g.adj[u]
+	for i := range a {
+		if a[i].ID == id {
+			last := len(a) - 1
+			a[i] = a[last]
+			g.adj[u] = a[:last]
+			return
+		}
+	}
+	panic(fmt.Sprintf("graph: edge %d missing from adjacency of vertex %d", id, u))
+}
+
+// CheckWeight reports whether w would be accepted by AddEdgeW on g: weights
+// must be finite and non-negative (zero is allowed — see the verify package
+// for the stretch semantics of zero-weight edges), and exactly 1 on
+// unweighted graphs. Callers that validate whole update batches before
+// mutating (internal/dynamic) share this check with AddEdgeW.
+func CheckWeight(g *Graph, w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return fmt.Errorf("graph: invalid weight %v", w)
+	}
+	if !g.weighted && w != 1 {
+		return fmt.Errorf("graph: weight %v on unweighted graph (must be 1)", w)
+	}
+	return nil
 }
 
 // MustAddEdge is AddEdge for construction code whose inputs are known valid
@@ -213,6 +318,10 @@ func (g *Graph) Clone() *Graph {
 		edges:    make([]Edge, len(g.edges)),
 	}
 	copy(c.edges, g.edges)
+	if len(g.free) > 0 {
+		c.free = make([]int, len(g.free))
+		copy(c.free, g.free)
+	}
 	for u := range g.adj {
 		if len(g.adj[u]) == 0 {
 			continue
@@ -229,15 +338,12 @@ func (g *Graph) EmptyLike() *Graph {
 	return &Graph{weighted: g.weighted, adj: make([][]HalfEdge, len(g.adj))}
 }
 
-// EdgeIDsByWeight returns all edge IDs sorted by nondecreasing weight,
+// EdgeIDsByWeight returns all live edge IDs sorted by nondecreasing weight,
 // breaking ties by edge ID so the order is deterministic. This is the
 // consideration order of the weighted greedy algorithms (Algorithm 1 and
 // Algorithm 4 in the paper).
 func (g *Graph) EdgeIDsByWeight() []int {
-	ids := make([]int, len(g.edges))
-	for i := range ids {
-		ids[i] = i
-	}
+	ids := g.EdgeIDs()
 	sort.SliceStable(ids, func(a, b int) bool {
 		return g.edges[ids[a]].W < g.edges[ids[b]].W
 	})

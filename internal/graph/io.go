@@ -30,6 +30,9 @@ func Write(w io.Writer, g *Graph) error {
 		return fmt.Errorf("graph: write header: %w", err)
 	}
 	for _, e := range g.edges {
+		if e.U < 0 {
+			continue // dead slot left by RemoveEdge; readers get a compact graph
+		}
 		var err error
 		if g.Weighted() {
 			_, err = fmt.Fprintf(bw, "%d %d %s\n", e.U, e.V, strconv.FormatFloat(e.W, 'g', -1, 64))

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// sameGraph reports whether a and b have identical vertex counts,
+// weightedness, and live edge multisets (by normalized endpoints + weight).
+func sameGraph(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() || a.Weighted() != b.Weighted() {
+		return false
+	}
+	return a.IsSubgraphOf(b) && b.IsSubgraphOf(a)
+}
+
+// TestWriteReadRoundTripProperty round-trips random weighted and unweighted
+// graphs, including strconv.FormatFloat-exotic weights: subnormals, huge
+// magnitudes, values with no short decimal form. FormatFloat(g, -1) prints
+// the minimal digits that re-parse exactly, so every weight must survive.
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	exotic := []float64{
+		0,
+		5e-324,                  // smallest subnormal
+		2.2250738585072014e-308, // smallest normal
+		1e300,
+		0.1,
+		1.0 / 3.0,
+		math.MaxFloat64,
+		6755399441055744.5, // exactly representable binary half
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(20)
+		weighted := trial%2 == 0
+		var g *Graph
+		if weighted {
+			g = NewWeighted(n)
+		} else {
+			g = New(n)
+		}
+		m := rng.Intn(2 * n)
+		for try := 0; try < m; try++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			w := 1.0
+			if weighted {
+				if rng.Intn(4) == 0 {
+					w = exotic[rng.Intn(len(exotic))]
+				} else {
+					w = rng.Float64() * math.Pow(10, float64(rng.Intn(20)-10))
+				}
+			}
+			g.MustAddEdgeW(u, v, w)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: read back: %v\n%s", trial, err, buf.String())
+		}
+		if !sameGraph(g, back) {
+			t.Fatalf("trial %d: round trip changed the graph", trial)
+		}
+	}
+}
+
+// TestWriteReadRoundTripFreeList writes a graph with RemoveEdge holes; the
+// reader must get back a compact graph with exactly the live edges.
+func TestWriteReadRoundTripFreeList(t *testing.T) {
+	g := NewWeighted(6)
+	ids := []int{
+		g.MustAddEdgeW(0, 1, 5e-324),
+		g.MustAddEdgeW(1, 2, 2),
+		g.MustAddEdgeW(2, 3, 1e300),
+		g.MustAddEdgeW(3, 4, 0),
+		g.MustAddEdgeW(4, 5, 0.25),
+	}
+	if err := g.RemoveEdge(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	// The header must advertise the live count, and no dead edge may leak.
+	if !strings.HasPrefix(buf.String(), "graph 6 3 weighted\n") {
+		t.Fatalf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, back) {
+		t.Fatal("free-listed graph did not round trip to its live edge set")
+	}
+	if back.EdgeIDLimit() != back.M() {
+		t.Errorf("reader produced holes: limit %d, M %d", back.EdgeIDLimit(), back.M())
+	}
+}
+
+// TestReadCommentsBlankLinesExoticWeights pins the tolerant-reader behavior the
+// format documents: comments and blank lines anywhere, including between
+// edge lines and after the header.
+func TestReadCommentsBlankLinesExoticWeights(t *testing.T) {
+	in := `
+# leading comment
+
+graph 4 3 weighted
+# between header and edges
+0 1 0.5
+
+1 2 5e-324
+# between edges
+
+2 3 1e300
+# trailing comment
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4 and 3", g.N(), g.M())
+	}
+	if w := g.Weight(1); w != 5e-324 {
+		t.Errorf("subnormal weight read back as %v", w)
+	}
+	if w := g.Weight(2); w != 1e300 {
+		t.Errorf("1e300 read back as %v", w)
+	}
+}

@@ -29,6 +29,9 @@ func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
 		sub = New(len(vertices))
 	}
 	for _, e := range g.edges {
+		if e.U < 0 {
+			continue // dead slot from RemoveEdge
+		}
 		nu, okU := toNew[e.U]
 		nv, okV := toNew[e.V]
 		if okU && okV {
@@ -44,8 +47,8 @@ func (g *Graph) Subgraph(edgeIDs []int) (*Graph, error) {
 	sub := g.EmptyLike()
 	seen := make(map[int]bool, len(edgeIDs))
 	for _, id := range edgeIDs {
-		if id < 0 || id >= g.M() {
-			return nil, fmt.Errorf("graph: subgraph edge ID %d out of range [0,%d)", id, g.M())
+		if !g.EdgeAlive(id) {
+			return nil, fmt.Errorf("graph: subgraph edge ID %d is not a live edge (limit %d)", id, g.EdgeIDLimit())
 		}
 		if seen[id] {
 			return nil, fmt.Errorf("graph: duplicate edge ID %d in subgraph", id)
@@ -70,7 +73,7 @@ func (g *Graph) Union(h *Graph) (*Graph, error) {
 	}
 	out := g.Clone()
 	for _, e := range h.edges {
-		if !out.HasEdge(e.U, e.V) {
+		if e.U >= 0 && !out.HasEdge(e.U, e.V) {
 			out.MustAddEdgeW(e.U, e.V, e.W)
 		}
 	}
@@ -84,6 +87,9 @@ func (g *Graph) IsSubgraphOf(h *Graph) bool {
 		return false
 	}
 	for _, e := range g.edges {
+		if e.U < 0 {
+			continue // dead slot from RemoveEdge
+		}
 		id, ok := h.EdgeBetween(e.U, e.V)
 		if !ok || h.edges[id].W != e.W {
 			return false

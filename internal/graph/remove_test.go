@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRemoveEdgeBasics(t *testing.T) {
+	g := New(4)
+	e01 := g.MustAddEdge(0, 1)
+	e12 := g.MustAddEdge(1, 2)
+	e23 := g.MustAddEdge(2, 3)
+
+	if err := g.RemoveEdge(e12); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || g.EdgeIDLimit() != 3 {
+		t.Fatalf("M=%d limit=%d, want 2 and 3", g.M(), g.EdgeIDLimit())
+	}
+	if g.EdgeAlive(e12) {
+		t.Error("removed edge still alive")
+	}
+	if !g.EdgeAlive(e01) || !g.EdgeAlive(e23) {
+		t.Error("surviving edges lost their IDs")
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("adjacency still lists the removed edge")
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Errorf("degrees after removal: %d, %d, want 1, 1", g.Degree(1), g.Degree(2))
+	}
+	if ids := g.EdgeIDs(); len(ids) != 2 || ids[0] != e01 || ids[1] != e23 {
+		t.Errorf("EdgeIDs = %v, want [%d %d]", ids, e01, e23)
+	}
+
+	// Double remove and dead-ID remove must fail.
+	if err := g.RemoveEdge(e12); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if err := g.RemoveEdge(99); err == nil {
+		t.Error("out-of-range remove succeeded")
+	}
+
+	// The freed slot is reused by the next insertion; survivors keep IDs.
+	reused := g.MustAddEdge(0, 3)
+	if reused != e12 {
+		t.Errorf("new edge got ID %d, want reused slot %d", reused, e12)
+	}
+	if !g.EdgeAlive(reused) || g.M() != 3 || g.EdgeIDLimit() != 3 {
+		t.Errorf("after reuse: M=%d limit=%d", g.M(), g.EdgeIDLimit())
+	}
+	if e := g.Edge(reused); e.U != 0 || e.V != 3 {
+		t.Errorf("reused slot holds {%d,%d}, want {0,3}", e.U, e.V)
+	}
+}
+
+func TestRemoveEdgeBetween(t *testing.T) {
+	g := NewWeighted(3)
+	id := g.MustAddEdgeW(2, 0, 1.5)
+	got, err := g.RemoveEdgeBetween(0, 2)
+	if err != nil || got != id {
+		t.Fatalf("RemoveEdgeBetween = %d, %v; want %d, nil", got, err, id)
+	}
+	if _, err := g.RemoveEdgeBetween(0, 2); err == nil {
+		t.Error("removing a missing edge succeeded")
+	}
+}
+
+func TestRemoveEdgeCloneAndOps(t *testing.T) {
+	g := New(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	if err := g.RemoveEdge(3); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if c.M() != g.M() || c.EdgeIDLimit() != g.EdgeIDLimit() || c.EdgeAlive(3) {
+		t.Fatalf("clone did not preserve free-list state")
+	}
+}
+
+func TestRemoveEdgeFreeListIndependentAfterClone(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	id := g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	if err := g.RemoveEdge(id); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	reused := c.MustAddEdge(0, 3)
+	if reused != id {
+		t.Errorf("clone reused slot %d, want %d", reused, id)
+	}
+	if g.EdgeAlive(id) {
+		t.Error("insertion into the clone mutated the original's free list")
+	}
+	if !c.IsSubgraphOf(c) {
+		t.Error("IsSubgraphOf is not reflexive on a free-listed graph")
+	}
+}
+
+// TestRemoveEdgeMatchesRebuild randomly interleaves insertions and removals
+// and checks the graph always matches a from-scratch twin built with the
+// same live edge set.
+func TestRemoveEdgeMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 12
+	g := NewWeighted(n)
+	live := map[[2]int]float64{}
+	for step := 0; step < 400; step++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if _, ok := live[key]; ok {
+			if _, err := g.RemoveEdgeBetween(u, v); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, key)
+		} else {
+			w := float64(rng.Intn(10))
+			g.MustAddEdgeW(u, v, w)
+			live[key] = w
+		}
+	}
+	if g.M() != len(live) {
+		t.Fatalf("M = %d, want %d", g.M(), len(live))
+	}
+	twin := NewWeighted(n)
+	for key, w := range live {
+		twin.MustAddEdgeW(key[0], key[1], w)
+	}
+	if !g.IsSubgraphOf(twin) || !twin.IsSubgraphOf(g) {
+		t.Fatal("churned graph diverged from its from-scratch twin")
+	}
+	// Adjacency degree sums must still be consistent with the edge count.
+	sum := 0
+	for u := 0; u < n; u++ {
+		sum += g.Degree(u)
+	}
+	if sum != 2*g.M() {
+		t.Fatalf("degree sum %d != 2*M %d", sum, 2*g.M())
+	}
+	// Every live ID maps to a real edge; every dead ID is marked.
+	liveCount := 0
+	for id := 0; id < g.EdgeIDLimit(); id++ {
+		if g.EdgeAlive(id) {
+			liveCount++
+			e := g.Edge(id)
+			if !g.HasEdge(e.U, e.V) {
+				t.Fatalf("live edge %d {%d,%d} missing from adjacency", id, e.U, e.V)
+			}
+		}
+	}
+	if liveCount != g.M() {
+		t.Fatalf("alive scan found %d edges, M = %d", liveCount, g.M())
+	}
+}

@@ -63,6 +63,22 @@ type Result struct {
 	// IDs (Mode Edge) whose removal leaves no u-v path of at most t hops.
 	// Its size is at most alpha*t. Nil on NO.
 	Cut []int
+	// PathEdges lists the edge IDs of every path found across the BFS
+	// passes, in discovery order. On NO it is a positive coverage witness:
+	// either the alpha+1 passes found alpha+1 pairwise disjoint (internally
+	// vertex-disjoint in Mode Vertex, edge-disjoint in Mode Edge) u-v paths
+	// of at most t hops — so any fault set of size at most alpha kills at
+	// most alpha of them and one survives — or (Mode Vertex only) the last
+	// path found is the direct edge {u,v}, which no vertex fault can remove
+	// at all. Either way: as long as every edge listed here remains in the
+	// graph, every fault set of size at most alpha leaves a u-v path of at
+	// most t hops. The witness survives edge insertions and is destroyed
+	// only when one of these edges is removed — the invalidation rule the
+	// dynamic maintainer (internal/dynamic) uses for batched deletions.
+	//
+	// Like Cut, PathEdges from DecideWith aliases searcher scratch; copy to
+	// retain.
+	PathEdges []int
 	// Passes is the number of BFS passes performed (at most alpha+1),
 	// exposed for the E4 runtime experiment.
 	Passes int
@@ -75,7 +91,7 @@ type Result struct {
 // Decide allocates its own scratch per call; the greedy's hot loop uses
 // DecideWith with a long-lived sp.Searcher instead.
 func Decide(g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
-	res, err := DecideWith(sp.NewSearcher(g.N(), g.M()), g, u, v, t, alpha, mode)
+	res, err := DecideWith(sp.NewSearcher(g.N(), g.EdgeIDLimit()), g, u, v, t, alpha, mode)
 	if err != nil {
 		return res, err
 	}
@@ -85,6 +101,9 @@ func Decide(g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
 	if res.Cut != nil {
 		res.Cut = append([]int(nil), res.Cut...)
 	}
+	if res.PathEdges != nil {
+		res.PathEdges = append([]int(nil), res.PathEdges...)
+	}
 	return res, nil
 }
 
@@ -93,24 +112,48 @@ func Decide(g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
 // modified greedy's O((m+n)·alpha) per-edge cost real rather than dominated
 // by allocator traffic.
 //
-// On YES, Result.Cut aliases the searcher's scratch and is valid only until
-// the next use of s; callers that retain it must copy. The searcher's fault
-// mask is reset on entry and on exit (both O(1)), so s carries no state
-// between calls and stays safe for direct Dist/BFS use afterwards.
+// On YES, Result.Cut aliases the searcher's scratch (and Result.PathEdges
+// its Aux buffer); both are valid only until the next use of s; callers
+// that retain them must copy. The searcher's fault mask is reset on entry
+// and on exit (both O(1)), so s carries no state between calls and stays
+// safe for direct Dist/BFS use afterwards.
 func DecideWith(s *sp.Searcher, g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
+	s.ResetBlocked()
+	return DecideWithBlocked(s, g, u, v, t, alpha, mode)
+}
+
+// DecideWithBlocked is DecideWith on the subgraph of g minus the elements
+// currently blocked in s's fault mask: pre-blocked vertices and edges are
+// treated as absent from g and never enter the cut or the witness. This is
+// how the dynamic maintainer re-decides an edge of a weighted graph against
+// the light prefix H_{≤w}: it pins every heavier spanner edge and decides on
+// the rest, preserving the Theorem 10 weight-ordering argument without
+// materializing the filtered subgraph (whose edge IDs would not match H's).
+//
+// The mask is reset before returning, pins included — callers re-pin per
+// call.
+func DecideWithBlocked(s *sp.Searcher, g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
 	if err := validate(g, u, v, t, alpha, mode); err != nil {
 		return Result{}, err
 	}
-	s.Grow(g.N(), g.M())
-	s.ResetBlocked()
+	s.Grow(g.N(), g.EdgeIDLimit())
 	defer s.ResetBlocked()
 	cut := s.Scratch[:0]
+	witness := s.Aux[:0]
+	finish := func(res Result) (Result, error) {
+		s.Scratch = cut
+		s.Aux = witness
+		if len(witness) > 0 {
+			res.PathEdges = witness
+		}
+		return res, nil
+	}
 	for pass := 1; pass <= alpha+1; pass++ {
 		vertices, edgeIDs, found := s.PathWithin(g, u, v, t)
 		if !found {
-			s.Scratch = cut
-			return Result{Yes: true, Cut: cut, Passes: pass}, nil
+			return finish(Result{Yes: true, Cut: cut, Passes: pass})
 		}
+		witness = append(witness, edgeIDs...)
 		added := 0
 		switch mode {
 		case Vertex:
@@ -133,12 +176,10 @@ func DecideWith(s *sp.Searcher, g *graph.Graph, u, v, t, alpha int, mode Mode) (
 			// ever remove a direct edge. Without this short-circuit every
 			// remaining pass re-finds the same path, burning all alpha+1
 			// BFS passes (and inflating Passes) before answering NO.
-			s.Scratch = cut
-			return Result{Yes: false, Passes: pass}, nil
+			return finish(Result{Yes: false, Passes: pass})
 		}
 	}
-	s.Scratch = cut
-	return Result{Yes: false, Passes: alpha + 1}, nil
+	return finish(Result{Yes: false, Passes: alpha + 1})
 }
 
 func validate(g *graph.Graph, u, v, t, alpha int, mode Mode) error {
@@ -183,7 +224,7 @@ func IsCut(g *graph.Graph, u, v, t int, cut []int, mode Mode) (bool, error) {
 		blocked = sp.BlockVertices(g, cut...)
 	case Edge:
 		for _, id := range cut {
-			if id < 0 || id >= g.M() {
+			if id < 0 || id >= g.EdgeIDLimit() {
 				return false, fmt.Errorf("lbc: cut edge ID %d out of range", id)
 			}
 		}
@@ -215,8 +256,10 @@ func Exact(g *graph.Graph, u, v, t, maxSize int, mode Mode) (cut []int, found bo
 			}
 		}
 	case Edge:
-		for id := 0; id < g.M(); id++ {
-			candidates = append(candidates, id)
+		for id := 0; id < g.EdgeIDLimit(); id++ {
+			if g.EdgeAlive(id) {
+				candidates = append(candidates, id)
+			}
 		}
 	}
 

@@ -1,0 +1,95 @@
+package lbc
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/sp"
+)
+
+// TestDecideWitnessCoversNo pins the coverage-witness contract of
+// Result.PathEdges that the dynamic maintainer relies on:
+//
+//  1. a NO answer ships a non-empty witness whose edges are all real;
+//  2. deleting any edge OUTSIDE the witness preserves coverage — after the
+//     deletion, no length-t cut of size <= alpha exists (checked against
+//     the exact enumeration oracle), so the skipped edge's stretch
+//     constraint still holds and no re-decision is needed.
+func TestDecideWitnessCoversNo(t *testing.T) {
+	for _, mode := range []Mode{Vertex, Edge} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := gen.GNPConnected(rng, 10, 0.5, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sp.NewSearcher(g.N(), g.EdgeIDLimit())
+			const tHop, alpha = 3, 1
+			checked := 0
+			for u := 0; u < g.N() && checked < 4; u++ {
+				for v := u + 1; v < g.N() && checked < 4; v++ {
+					res, err := DecideWith(s, g, u, v, tHop, alpha, mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Yes {
+						continue
+					}
+					checked++
+					if len(res.PathEdges) == 0 {
+						t.Fatalf("%v seed %d: NO answer without a witness", mode, seed)
+					}
+					witness := make(map[int]bool)
+					for _, id := range res.PathEdges {
+						if !g.EdgeAlive(id) {
+							t.Fatalf("%v seed %d: witness lists dead edge %d", mode, seed, id)
+						}
+						witness[id] = true
+					}
+					// Deleting any non-witness edge must keep (u,v) covered.
+					for _, id := range g.EdgeIDs() {
+						if witness[id] {
+							continue
+						}
+						sub := g.Clone()
+						if err := sub.RemoveEdge(id); err != nil {
+							t.Fatal(err)
+						}
+						_, found, err := Exact(sub, u, v, tHop, alpha, mode)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if found {
+							t.Fatalf("%v seed %d: deleting non-witness edge %d broke coverage of (%d,%d)",
+								mode, seed, id, u, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecideWitnessAliasing pins the scratch-aliasing contract: the
+// package-level Decide copies, DecideWith aliases until the next call.
+func TestDecideWitnessAliasing(t *testing.T) {
+	g := gen.Complete(6)
+	res1, err := Decide(g, 0, 1, 2, 1, Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Yes || len(res1.PathEdges) == 0 {
+		t.Fatalf("K6 (0,1) t=2 alpha=1 should be NO with a witness, got %+v", res1)
+	}
+	snapshot := append([]int(nil), res1.PathEdges...)
+	// Another Decide call must not disturb the copied result.
+	if _, err := Decide(g, 2, 3, 2, 1, Vertex); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range snapshot {
+		if res1.PathEdges[i] != id {
+			t.Fatal("Decide result was not a stable copy")
+		}
+	}
+}

@@ -67,6 +67,11 @@ type Searcher struct {
 	// alongside a search (lbc.DecideWith builds its cut certificate here).
 	// Like the path buffers, its contents are valid until the next use.
 	Scratch []int
+
+	// Aux is a second spare buffer with the same contract as Scratch, for
+	// callers that accumulate two ID streams at once (lbc.DecideWith builds
+	// its path-edge witness here while the cut grows in Scratch).
+	Aux []int
 }
 
 type heapItem struct {
@@ -176,14 +181,14 @@ func (s *Searcher) EdgeBlocked(id int) bool { return s.blockE[id] == s.blockEpoc
 // BFS computes hop distances from src in g minus the Searcher's fault mask.
 // Read results with HopDistTo.
 func (s *Searcher) BFS(g *graph.Graph, src int) {
-	s.Grow(g.N(), g.M())
+	s.Grow(g.N(), g.EdgeIDLimit())
 	s.bfs(g, src, math.MaxInt, -1)
 }
 
 // BFSBounded is BFS truncated at maxHops, exactly like the package-level
 // BFSBounded: vertices farther than maxHops stay Unreachable.
 func (s *Searcher) BFSBounded(g *graph.Graph, src, maxHops int) {
-	s.Grow(g.N(), g.M())
+	s.Grow(g.N(), g.EdgeIDLimit())
 	s.bfs(g, src, maxHops, -1)
 }
 
@@ -238,7 +243,7 @@ func (s *Searcher) HopDistTo(v int) int {
 // to v (Unreachable if none within the bound). The search stops early once
 // v is reached.
 func (s *Searcher) HopDist(g *graph.Graph, u, v, maxHops int) int {
-	s.Grow(g.N(), g.M())
+	s.Grow(g.N(), g.EdgeIDLimit())
 	if u == v {
 		if s.VertexBlocked(u) {
 			return Unreachable
@@ -254,7 +259,7 @@ func (s *Searcher) HopDist(g *graph.Graph, u, v, maxHops int) int {
 // buffers: they are valid until the next call and must be copied to be
 // retained.
 func (s *Searcher) PathWithin(g *graph.Graph, u, v, maxHops int) (vertices, edgeIDs []int, ok bool) {
-	s.Grow(g.N(), g.M())
+	s.Grow(g.N(), g.EdgeIDLimit())
 	if u == v {
 		if s.VertexBlocked(u) {
 			return nil, nil, false
@@ -287,7 +292,7 @@ func (s *Searcher) PathWithin(g *graph.Graph, u, v, maxHops int) (vertices, edge
 // Dijkstra computes weighted shortest-path distances from src in g minus
 // the fault mask. Read results with WeightTo.
 func (s *Searcher) Dijkstra(g *graph.Graph, src int) {
-	s.Grow(g.N(), g.M())
+	s.Grow(g.N(), g.EdgeIDLimit())
 	s.dijkstra(g, src, -1)
 }
 
@@ -344,7 +349,7 @@ func (s *Searcher) dijkstra(g *graph.Graph, src, target int) {
 // otherwise, +Inf if unreachable. It agrees exactly with the package-level
 // Dist on both graph kinds.
 func (s *Searcher) Dist(g *graph.Graph, u, v int) float64 {
-	s.Grow(g.N(), g.M())
+	s.Grow(g.N(), g.EdgeIDLimit())
 	if u == v {
 		if s.VertexBlocked(u) {
 			return Inf

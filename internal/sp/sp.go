@@ -43,9 +43,10 @@ func BlockVertices(g *graph.Graph, vs ...int) Blocked {
 }
 
 // BlockEdges returns a Blocked mask for graph g failing exactly the given
-// edge IDs.
+// edge IDs. The mask spans the full edge-ID space, so it stays in bounds on
+// graphs with free-listed holes from RemoveEdge.
 func BlockEdges(g *graph.Graph, ids ...int) Blocked {
-	mask := make([]bool, g.M())
+	mask := make([]bool, g.EdgeIDLimit())
 	for _, id := range ids {
 		mask[id] = true
 	}

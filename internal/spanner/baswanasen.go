@@ -50,7 +50,7 @@ func BaswanaSen(rng *rand.Rand, g *graph.Graph, k int) (*graph.Graph, error) {
 		clusterOf[v] = v
 	}
 	// alive[id]: edge id still in the working edge set E'.
-	alive := make([]bool, g.M())
+	alive := make([]bool, g.EdgeIDLimit())
 	for id := range alive {
 		alive[id] = true
 	}

@@ -30,7 +30,7 @@ func CheckBlockingSet(h *graph.Graph, pairs []BlockingPair, t int) (ok bool, wit
 	// Index pairs: vertex -> set of edges it blocks.
 	blocks := make(map[int]map[int]bool)
 	for _, p := range pairs {
-		if p.EdgeID < 0 || p.EdgeID >= h.M() || p.V < 0 || p.V >= h.N() {
+		if p.EdgeID < 0 || !h.EdgeAlive(p.EdgeID) || p.V < 0 || p.V >= h.N() {
 			return false, nil, fmt.Errorf("verify: blocking pair (%d, %d) out of range", p.V, p.EdgeID)
 		}
 		e := h.Edge(p.EdgeID)

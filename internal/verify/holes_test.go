@@ -1,0 +1,83 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+)
+
+// holeGraph builds a triangle {0,1},{1,2},{0,2} with one dead edge-ID slot
+// (a removed {0,3}), and an h that loses {0,2}: failing edge {0,1} then
+// disconnects the surviving g-edge {0,2} in h — a violation only a
+// fault set of real (live) edge IDs can expose.
+func holeGraph(t *testing.T) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	dead := g.MustAddEdge(0, 3)
+	if err := g.RemoveEdge(dead); err != nil {
+		t.Fatal(err)
+	}
+	h := graph.New(4)
+	h.MustAddEdge(0, 1)
+	h.MustAddEdge(1, 2)
+	return g, h
+}
+
+// TestEdgeFaultsOnHoleyGraphUseLiveIDs pins that edge-mode fault sets are
+// drawn from live edge IDs, not the raw ID space: dead free-list slots
+// block nothing, so counting them would silently shrink the effective
+// fault-set size (a sampled f=3 trial on this graph would only rarely hit
+// the real triple).
+func TestEdgeFaultsOnHoleyGraphUseLiveIDs(t *testing.T) {
+	g, h := holeGraph(t)
+
+	// On a valid spanner (the identity) the full enumeration runs: subsets
+	// of the 3 live IDs only, 1 + C(3,1) + C(3,2) = 7 for f = 2. Counting
+	// the raw ID space would give 1 + C(4,1) + C(4,2) = 11.
+	full, err := Exhaustive(g, g.Clone(), 3, 2, lbc.Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.OK {
+		t.Fatalf("identity spanner rejected: %v", full.Violation)
+	}
+	if full.FaultSetsChecked != 7 {
+		t.Errorf("FaultSetsChecked = %d, want 7 (dead IDs must not be enumerated)", full.FaultSetsChecked)
+	}
+
+	// The violation under F={edge {0,1}} must be found.
+	rep, err := Exhaustive(g, h, 3, 1, lbc.Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("Exhaustive missed the edge-fault violation")
+	}
+
+	// Parallel exhaustive agrees with sequential.
+	rep2, err := ExhaustiveParallel(g, h, 3, 1, lbc.Edge, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.OK || rep2.Violation.U != rep.Violation.U || rep2.Violation.V != rep.Violation.V {
+		t.Errorf("parallel violation %+v differs from sequential %+v", rep2.Violation, rep.Violation)
+	}
+
+	// Sampled draws fault sets of live IDs only; with this seed the single
+	// real violating set is hit within the trial budget, sequentially and
+	// in parallel (identical draws by contract).
+	for _, workers := range []int{1, 3} {
+		srep, err := SampledParallel(g, h, 3, 1, lbc.Edge, rand.New(rand.NewSource(1)), 25, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srep.OK {
+			t.Errorf("workers=%d: Sampled missed the violation over 25 live-ID trials", workers)
+		}
+	}
+}

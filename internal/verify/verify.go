@@ -108,13 +108,17 @@ func ExhaustiveParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, work
 	if err := validateInputs(g, h, t, f); err != nil {
 		return rep, err
 	}
-	nCandidates := g.N()
-	if mode == lbc.Edge {
-		nCandidates = g.M()
-	}
+	candidates := faultCandidates(g, mode)
 	if workers = sp.Workers(workers); workers > 1 {
 		return checkSetsParallel(g, h, t, mode, workers, func(emit func([]int) bool) {
-			combin.ForEachUpTo(nCandidates, f, emit)
+			ids := []int{}
+			combin.ForEachUpTo(len(candidates), f, func(idx []int) bool {
+				ids = ids[:0]
+				for _, i := range idx {
+					ids = append(ids, candidates[i])
+				}
+				return emit(ids)
+			})
 		})
 	}
 	ck, err := newChecker(g, h, t, mode)
@@ -122,9 +126,12 @@ func ExhaustiveParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, work
 		return rep, err
 	}
 	ids := []int{}
-	combin.ForEachUpTo(nCandidates, f, func(idx []int) bool {
+	combin.ForEachUpTo(len(candidates), f, func(idx []int) bool {
 		rep.FaultSetsChecked++
-		ids = append(ids[:0], idx...)
+		ids = ids[:0]
+		for _, i := range idx {
+			ids = append(ids, candidates[i])
+		}
 		viol := ck.check(ids, &rep.EdgeChecks)
 		if viol != nil {
 			rep.Violation = viol
@@ -134,6 +141,21 @@ func ExhaustiveParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, work
 	})
 	rep.OK = rep.Violation == nil
 	return rep, nil
+}
+
+// faultCandidates is the pool fault sets are drawn from: every vertex, or
+// every live edge ID. Enumerating live IDs (not the raw ID space) matters
+// on graphs with RemoveEdge holes: a dead ID in a fault set blocks nothing,
+// which would silently shrink the effective fault-set size.
+func faultCandidates(g *graph.Graph, mode lbc.Mode) []int {
+	if mode == lbc.Edge {
+		return g.EdgeIDs()
+	}
+	vs := make([]int, g.N())
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
 }
 
 // Sampled checks h against trials random fault sets of size exactly f (and
@@ -159,13 +181,20 @@ func SampledParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *ra
 	if trials < 0 {
 		return rep, fmt.Errorf("verify: trials must be >= 0, got %d", trials)
 	}
-	nCandidates := g.N()
-	if mode == lbc.Edge {
-		nCandidates = g.M()
-	}
+	candidates := faultCandidates(g, mode)
 	size := f
-	if size > nCandidates {
-		size = nCandidates
+	if size > len(candidates) {
+		size = len(candidates)
+	}
+	// draw samples one fault set of real (live) IDs. On hole-free graphs
+	// candidates[i] == i, so the rng consumption and the drawn sets are
+	// byte-identical to sampling the raw ID space directly.
+	draw := func() []int {
+		ids := combin.RandomSubset(rng, len(candidates), size)
+		for j, i := range ids {
+			ids[j] = candidates[i]
+		}
+		return ids
 	}
 	if workers = sp.Workers(workers); workers > 1 {
 		// Fault set 0 is the always-included empty set; sets 1..trials are
@@ -173,7 +202,7 @@ func SampledParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *ra
 		sets := make([][]int, 0, trials+1)
 		sets = append(sets, nil)
 		for i := 0; i < trials; i++ {
-			sets = append(sets, combin.RandomSubset(rng, nCandidates, size))
+			sets = append(sets, draw())
 		}
 		return checkSetsParallel(g, h, t, mode, workers, func(emit func([]int) bool) {
 			for _, ids := range sets {
@@ -194,9 +223,8 @@ func SampledParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *ra
 		return rep, nil
 	}
 	for i := 0; i < trials; i++ {
-		ids := combin.RandomSubset(rng, nCandidates, size)
 		rep.FaultSetsChecked++
-		if viol := ck.check(ids, &rep.EdgeChecks); viol != nil {
+		if viol := ck.check(draw(), &rep.EdgeChecks); viol != nil {
 			rep.Violation = viol
 			rep.OK = false
 			return rep, nil
@@ -333,21 +361,23 @@ type checker struct {
 func newChecker(g, h *graph.Graph, t float64, mode lbc.Mode) (*checker, error) {
 	ck := &checker{
 		g: g, h: h, t: t, mode: mode,
-		sg: sp.NewSearcher(g.N(), g.M()),
-		sh: sp.NewSearcher(h.N(), h.M()),
+		sg: sp.NewSearcher(g.N(), g.EdgeIDLimit()),
+		sh: sp.NewSearcher(h.N(), h.EdgeIDLimit()),
 	}
 	switch mode {
 	case lbc.Vertex:
 		// Vertex IDs are shared between g and h; the masks are applied to
 		// both searchers in apply.
 	case lbc.Edge:
-		ck.hEdgeOf = make([]int, g.M())
+		ck.hEdgeOf = make([]int, g.EdgeIDLimit())
 		for gid := range ck.hEdgeOf {
+			ck.hEdgeOf[gid] = -1
+			if !g.EdgeAlive(gid) {
+				continue // dead slot from RemoveEdge: no edge to map
+			}
 			e := g.Edge(gid)
 			if hid, ok := h.EdgeBetween(e.U, e.V); ok {
 				ck.hEdgeOf[gid] = hid
-			} else {
-				ck.hEdgeOf[gid] = -1
 			}
 		}
 	default:

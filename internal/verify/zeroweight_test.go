@@ -1,0 +1,93 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+)
+
+// Zero-weight edges are legal (graph.AddEdgeW accepts w = 0), so the
+// stretch accessors must not skip zero-distance pairs: a pair g holds at
+// distance 0 that h fails to keep at distance 0 is an unbounded violation,
+// previously masked by the gd == 0 skip in pairStretches.
+func TestZeroWeightPairViolationIsReported(t *testing.T) {
+	g := graph.NewWeighted(3)
+	g.MustAddEdgeW(0, 1, 0)
+	g.MustAddEdgeW(0, 2, 1)
+	g.MustAddEdgeW(1, 2, 1)
+
+	// h drops the zero-weight edge: d_H(0,1) = 2 while d_G(0,1) = 0.
+	h := graph.NewWeighted(3)
+	h.MustAddEdgeW(0, 2, 1)
+	h.MustAddEdgeW(1, 2, 1)
+
+	ms, err := MaxStretch(g, h, nil, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ms, 1) {
+		t.Errorf("MaxStretch = %v, want +Inf for a zero-distance pair h stretches", ms)
+	}
+
+	es, err := EdgeStretches(g, h, nil, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infs := 0
+	for _, r := range es {
+		if math.IsInf(r, 1) {
+			infs++
+		}
+	}
+	if infs != 1 {
+		t.Errorf("EdgeStretches = %v, want exactly one +Inf entry", es)
+	}
+
+	// The Verify* path agrees: the zero-weight edge's allowance is t·0 = 0,
+	// so any positive detour is a violation for every stretch t.
+	rep, err := Exhaustive(g, h, 100, 0, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("Exhaustive accepted a spanner that stretches a zero-weight pair")
+	}
+}
+
+func TestZeroWeightPairKeptAtZeroIsStretchOne(t *testing.T) {
+	g := graph.NewWeighted(3)
+	g.MustAddEdgeW(0, 1, 0)
+	g.MustAddEdgeW(0, 2, 1)
+	g.MustAddEdgeW(1, 2, 1)
+
+	h := g.Clone() // keeps the zero-weight edge: every pair at stretch 1
+
+	ms, err := MaxStretch(g, h, nil, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 1 {
+		t.Errorf("MaxStretch = %v, want 1", ms)
+	}
+	es, err := EdgeStretches(g, h, nil, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 3 {
+		t.Fatalf("EdgeStretches returned %d entries, want 3 (zero-weight edge included)", len(es))
+	}
+	for i, r := range es {
+		if r != 1 {
+			t.Errorf("EdgeStretches[%d] = %v, want 1", i, r)
+		}
+	}
+	rep, err := Exhaustive(g, h, 1, 1, lbc.Vertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("Exhaustive rejected the identity spanner: %v", rep.Violation)
+	}
+}

@@ -1,0 +1,60 @@
+package ftspanner_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftspanner"
+)
+
+// TestChurnMaintainerPublicAPI drives the exported Maintainer surface end
+// to end: NewMaintainer, ApplyBatch, Spanner, Graph, Stats — with the
+// correctness gate (VerifySampled on the current graph) after every batch.
+func TestChurnMaintainerPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := ftspanner.RandomGraph(rng, 60, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ftspanner.Options{K: 2, F: 1}
+	m, err := ftspanner.NewMaintainer(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().StalenessBudget; got != 0.25 {
+		t.Errorf("default StalenessBudget = %v, want 0.25", got)
+	}
+	for batch := 0; batch < 5; batch++ {
+		var b ftspanner.UpdateBatch
+		edges := m.Graph().Edges()
+		for _, e := range edges[:2] {
+			b.Delete = append(b.Delete, ftspanner.EdgeUpdate{U: e.U, V: e.V})
+		}
+		for len(b.Insert) < 2 {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u == v || m.Graph().HasEdge(u, v) {
+				continue
+			}
+			b.Insert = append(b.Insert, ftspanner.EdgeUpdate{U: u, V: v})
+		}
+		if err := m.ApplyBatch(b); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		rep, err := ftspanner.VerifySampled(m.Graph(), m.Spanner(), float64(opts.Stretch()),
+			opts.F, ftspanner.VertexFaults, rand.New(rand.NewSource(1)), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Fatalf("batch %d: maintained spanner invalid: %v", batch, rep.Violation)
+		}
+	}
+	st := m.Stats()
+	if st.Batches != 5 || st.Inserted != 10 || st.Deleted != 10 {
+		t.Errorf("stats = %+v, want 5 batches of 2+2", st)
+	}
+	// The caller's graph is untouched by churn.
+	if g.M() != 0 && m.Graph() == g {
+		t.Error("Maintainer did not clone the input graph")
+	}
+}
