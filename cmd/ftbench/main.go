@@ -13,9 +13,12 @@
 // measures the hot paths (LBC decide on a warm searcher, modified greedy,
 // sequential vs parallel exhaustive verification and exact greedy), the
 // churn experiment (batched insert/delete repair vs full rebuild on G(n,p)
-// and geometric workloads), and spanner sizes against the Theorem 8 bound,
-// and writes the snapshot as machine-readable BENCH_core.json in the -out
-// directory, so successive PRs can diff performance.
+// and geometric workloads), the serve experiment (closed-loop load
+// generation against the concurrent query oracle: QPS, p50/p99 latency,
+// cache hit rate, hot-cached vs cold-uncached cost), and spanner sizes
+// against the Theorem 8 bound, and writes the snapshot as machine-readable
+// BENCH_core.json in the -out directory, so successive PRs can diff
+// performance.
 package main
 
 import (
@@ -131,6 +134,10 @@ func runJSON(cfg bench.Config, out string, stdout io.Writer) error {
 	for _, c := range res.Churn {
 		fmt.Fprintf(stdout, "churn %-10s n=%d -%d/+%d per batch: repair %8.0f ns/batch, rebuild %8.0f ns/batch (%.1fx)\n",
 			c.Workload, c.N, c.DelPerBatch, c.InsPerBatch, c.RepairNs, c.RebuildNs, c.Speedup)
+	}
+	for _, s := range res.Serve {
+		fmt.Fprintf(stdout, "serve %-8s n=%d %d clients: %8.0f qps, p50 %6.0f ns, p99 %8.0f ns, hit %4.1f%%, hot %5.0f ns vs cold %7.0f ns (%.1fx)\n",
+			s.Workload, s.N, s.Clients, s.QPS, s.P50Ns, s.P99Ns, 100*s.CacheHitRate, s.HotNsPerOp, s.ColdNsPerOp, s.HotSpeedup)
 	}
 	fmt.Fprintf(stdout, "wrote %s (%.1fs)\n", path, res.ElapsedSec)
 	return nil

@@ -1,0 +1,153 @@
+// Command ftserve serves fault-tolerant distance/path queries over HTTP.
+//
+// It builds an f-fault-tolerant (2k-1)-spanner of a graph (read from a file
+// in the package text format, or generated), wraps it in the concurrent
+// query oracle (internal/oracle: pooled searchers, epoch-stamped result
+// cache, RWMutex-composed churn), and exposes the JSON API:
+//
+//	GET  /healthz                      liveness + current epoch
+//	GET  /stats                        query/cache/churn counters
+//	GET  /query?u=0&v=5&faults=2,7     distance + path under a fault set
+//	POST /query                        same, JSON body (see oracle.QueryRequest)
+//	POST /batch                        atomic edge insert/delete batch (churn)
+//
+// Usage:
+//
+//	ftserve [-addr :8080] [-graph g.txt | -n 512 -deg 8 -seed 1]
+//	        [-k 2] [-f 1] [-mode vertex|edge] [-cache 32768]
+//
+// With -graph the graph is read from the file; otherwise a G(n, p) sample
+// with expected degree -deg is generated from -seed. The server shuts down
+// cleanly on SIGINT/SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/oracle"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftserve:", err)
+		os.Exit(1)
+	}
+}
+
+// onListen, when set (by tests), receives the bound address before serving.
+var onListen func(net.Addr)
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ftserve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		graphPath = fs.String("graph", "", "graph file in the package text format (empty = generate)")
+		n         = fs.Int("n", 512, "generated graph: vertex count")
+		deg       = fs.Int("deg", 8, "generated graph: expected average degree")
+		seed      = fs.Int64("seed", 1, "generated graph: random seed")
+		k         = fs.Int("k", 2, "stretch parameter (spanner stretch 2k-1)")
+		f         = fs.Int("f", 1, "fault budget (max per-query fault-set size)")
+		mode      = fs.String("mode", "vertex", "fault mode: vertex or edge")
+		cache     = fs.Int("cache", 0, "result cache capacity in entries (0 = default, -1 = disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m lbc.Mode
+	switch *mode {
+	case "vertex":
+		m = lbc.Vertex
+	case "edge":
+		m = lbc.Edge
+	default:
+		return fmt.Errorf("unknown -mode %q (vertex or edge)", *mode)
+	}
+
+	g, source, err := loadGraph(*graphPath, *n, *deg, *seed)
+	if err != nil {
+		return err
+	}
+
+	buildStart := time.Now()
+	o, err := oracle.New(g, oracle.Config{K: *k, F: *f, Mode: m, CacheCapacity: *cache})
+	if err != nil {
+		return err
+	}
+	st := o.Stats()
+	fmt.Fprintf(stdout, "ftserve: %s: n=%d m=%d -> %d-fault-tolerant %d-spanner with %d edges (built in %s)\n",
+		source, st.N, st.M, *f, o.Stretch(), st.SpannerM, time.Since(buildStart).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	fmt.Fprintf(stdout, "ftserve: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: oracle.NewHTTPHandler(o)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	final := o.Stats()
+	fmt.Fprintf(stdout, "ftserve: shut down cleanly: %d queries (%.1f%% cache hits), %d churn batches, final epoch %d\n",
+		final.Queries, 100*final.HitRate, final.Batches, final.Epoch)
+	return nil
+}
+
+func loadGraph(path string, n, deg int, seed int64) (*graph.Graph, string, error) {
+	if path != "" {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer file.Close()
+		g, err := graph.Read(file)
+		if err != nil {
+			return nil, "", fmt.Errorf("read %s: %w", path, err)
+		}
+		return g, path, nil
+	}
+	if n < 2 {
+		return nil, "", fmt.Errorf("-n must be >= 2, got %d", n)
+	}
+	p := float64(deg) / float64(n-1)
+	if p > 1 {
+		p = 1
+	}
+	g, err := gen.GNP(rand.New(rand.NewSource(seed)), n, p)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, fmt.Sprintf("gnp(n=%d, deg=%d, seed=%d)", n, deg, seed), nil
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+)
+
+// startServer runs the command's run() on an ephemeral port and returns the
+// base URL plus a shutdown function that triggers the signal path and waits
+// for the clean exit.
+func startServer(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrc <- a }
+	t.Cleanup(func() { onListen = nil })
+	errc := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out)
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr.String(), func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				if err == nil && !strings.Contains(out.String(), "shut down cleanly") {
+					return fmt.Errorf("no clean-shutdown line in output:\n%s", out.String())
+				}
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("server did not shut down")
+			}
+		}
+	case err := <-errc:
+		t.Fatalf("server exited before listening: %v\n%s", err, out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not start listening")
+	}
+	panic("unreachable")
+}
+
+// The end-to-end smoke test CI mirrors with curl: start, exercise every
+// endpoint, shut down cleanly.
+func TestServeSmoke(t *testing.T) {
+	base, shutdown := startServer(t, "-n", "64", "-deg", "6", "-k", "2", "-f", "2")
+
+	get := func(path string, out any) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			json.NewDecoder(resp.Body).Decode(out)
+		}
+		return resp.StatusCode
+	}
+
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if code := get("/healthz", &health); code != http.StatusOK || !health.OK {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+	var q struct {
+		Reachable bool    `json:"reachable"`
+		Distance  float64 `json:"distance"`
+		Epoch     uint64  `json:"epoch"`
+	}
+	if code := get("/query?u=0&v=9&faults=3,4", &q); code != http.StatusOK {
+		t.Fatalf("query: %d", code)
+	}
+	if q.Epoch != 1 {
+		t.Fatalf("query epoch %d, want 1", q.Epoch)
+	}
+	resp, err := http.Post(base+"/batch", "application/json",
+		strings.NewReader(`{"insert":[{"u":0,"v":63}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d", resp.StatusCode)
+	}
+	var st struct {
+		Queries uint64 `json:"queries"`
+		Batches uint64 `json:"batches"`
+		Epoch   uint64 `json:"epoch"`
+	}
+	if code := get("/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Queries != 1 || st.Batches != 1 || st.Epoch != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// -graph serves a graph file; bad flags and files fail cleanly.
+func TestServeGraphFileAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := gen.Complete(12)
+	file, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Write(file, g); err != nil {
+		t.Fatal(err)
+	}
+	file.Close()
+
+	base, shutdown := startServer(t, "-graph", path, "-k", "2", "-f", "1", "-mode", "edge")
+	resp, err := http.Get(base + "/query?u=0&v=5&faults=0-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q struct {
+		Reachable bool    `json:"reachable"`
+		Distance  float64 `json:"distance"`
+	}
+	json.NewDecoder(resp.Body).Decode(&q)
+	resp.Body.Close()
+	if !q.Reachable || q.Distance < 2 {
+		// The direct edge is failed, so any route is a detour of >= 2.
+		t.Fatalf("edge-fault query on K12: %+v", q)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var out strings.Builder
+	if err := run(ctx, []string{"-mode", "diagonal"}, &out); err == nil {
+		t.Error("bad -mode accepted")
+	}
+	if err := run(ctx, []string{"-graph", filepath.Join(dir, "missing.txt")}, &out); err == nil {
+		t.Error("missing graph file accepted")
+	}
+	if err := run(ctx, []string{"-n", "1"}, &out); err == nil {
+		t.Error("n=1 accepted")
+	}
+}

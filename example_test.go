@@ -58,6 +58,39 @@ func ExampleMaxStretch() {
 	// worst stretch with vertices 3 and 7 down: 2 (guarantee: 3)
 }
 
+// An Oracle serves distance/path queries on the maintained spanner under
+// per-query fault sets, concurrently with churn: repeated queries hit an
+// epoch-stamped cache, and Apply invalidates it while repairing the
+// spanner, so the next query is answered on the updated snapshot.
+func ExampleNewOracle() {
+	g := ftspanner.CompleteGraph(8)
+	o, err := ftspanner.NewOracle(g, ftspanner.Options{K: 2, F: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	// Query with vertex 3 failed; repeat to hit the cache.
+	ask := ftspanner.QueryOptions{FaultVertices: []int{3}}
+	r1, _ := o.Query(0, 7, ask)
+	r2, _ := o.Query(0, 7, ask)
+	fmt.Printf("epoch %d: d(0,7)=%.0f via %v (cached: %v, then %v)\n",
+		r1.Epoch, r1.Distance, r1.Path, r1.CacheHit, r2.CacheHit)
+
+	// Churn: deleting the spanner edge {0,7} bumps the epoch, invalidates
+	// the cache, and repairs the spanner; the same query now detours.
+	if err := o.Apply(ftspanner.UpdateBatch{
+		Delete: []ftspanner.EdgeUpdate{{U: 0, V: 7}},
+	}); err != nil {
+		panic(err)
+	}
+	r3, _ := o.Query(0, 7, ask)
+	fmt.Printf("epoch %d: d(0,7)=%.0f via %v (cached: %v)\n",
+		r3.Epoch, r3.Distance, r3.Path, r3.CacheHit)
+	// Output:
+	// epoch 1: d(0,7)=1 via [0 7] (cached: false, then true)
+	// epoch 2: d(0,7)=2 via [0 1 7] (cached: false)
+}
+
 // Graphs round-trip through a plain text format.
 func ExampleWriteGraph() {
 	g := ftspanner.NewWeightedGraph(3)

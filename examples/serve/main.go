@@ -1,0 +1,119 @@
+// Serve: the full lifecycle of the serving layer — build, maintain, serve.
+//
+// Builds a 2-fault-tolerant 3-spanner of a random network, wraps it in the
+// concurrent query Oracle, and runs a miniature production scenario: eight
+// client goroutines fire a Zipf-skewed query mix (some queries arriving
+// with fault bursts — "give me a route around these failed routers") while
+// churn batches rewire the network underneath them. Every client keeps
+// going through the churn; the oracle's epoch-stamped cache keeps the hot
+// pairs fast and is invalidated wholesale on every batch.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftspanner"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// A random network: 300 nodes, average degree ~10.
+	g, err := ftspanner.RandomGraph(rng, 300, 10.0/299)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := ftspanner.Options{K: 2, F: 2}
+	o, err := ftspanner.NewOracle(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := o.Stats()
+	fmt.Printf("serving %v via a %d-fault-tolerant %d-spanner with %d edges\n",
+		g, opts.F, opts.Stretch(), st.SpannerM)
+
+	// One deterministic workload, shared by every client: Zipf-skewed pairs
+	// (hot destinations dominate) and a pool of fault bursts.
+	const queriesPerClient, clients = 4000, 8
+	pairs, err := ftspanner.ZipfQueryPairs(rng, 300, clients*queriesPerClient, 64, 1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bursts, err := ftspanner.FaultBurstSchedule(rng, 300, opts.F, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Clients serve their slice of the workload; a churn loop applies eight
+	// 3-down/3-up batches while they run.
+	var unreachable atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(pairs); i += clients {
+				q := ftspanner.QueryOptions{}
+				// Every 10th query of each client carries a fault burst
+				// (gate on the per-client step: i%10 would alias with the
+				// stride and leave odd-numbered clients burst-free).
+				if step := i / clients; step%10 == 0 {
+					q.FaultVertices = bursts[(step/10)%len(bursts)]
+				}
+				res, err := o.Query(pairs[i].U, pairs[i].V, q)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if len(res.Path) == 0 {
+					unreachable.Add(1)
+				}
+			}
+		}(c)
+	}
+	churnRng := rand.New(rand.NewSource(8))
+	for b := 0; b < 8; b++ {
+		// Build each batch against a snapshot of the current graph: fail 3
+		// existing links, bring up 3 new ones.
+		snapG, _, _ := o.Snapshot()
+		batch := ftspanner.UpdateBatch{}
+		for d := 0; d < 3; d++ {
+			edges := snapG.Edges()
+			e := edges[churnRng.Intn(len(edges))]
+			batch.Delete = append(batch.Delete, ftspanner.EdgeUpdate{U: e.U, V: e.V})
+			if _, err := snapG.RemoveEdgeBetween(e.U, e.V); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; {
+			u, v := churnRng.Intn(300), churnRng.Intn(300)
+			if u == v || snapG.HasEdge(u, v) {
+				continue
+			}
+			snapG.MustAddEdge(u, v)
+			batch.Insert = append(batch.Insert, ftspanner.EdgeUpdate{U: u, V: v})
+			i++
+		}
+		if err := o.Apply(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	final := o.Stats()
+	fmt.Printf("served %d queries in %v (%.0f qps across %d clients)\n",
+		final.Queries, elapsed.Round(time.Millisecond), float64(final.Queries)/elapsed.Seconds(), clients)
+	fmt.Printf("cache: %.1f%% hits (%d entries); churn: %d batches, final epoch %d\n",
+		100*final.HitRate, final.CacheSize, final.Batches, final.Epoch)
+	fmt.Printf("unreachable answers: %d (pairs cut off by their own fault burst)\n", unreachable.Load())
+	fmt.Printf("maintainer: %d re-decisions, %d repair batches, %d rebuilds\n",
+		final.Maintainer.Redecided, final.Maintainer.RepairBatches, final.Maintainer.RebuildBatches)
+}

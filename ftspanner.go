@@ -18,8 +18,12 @@
 // classic non-fault-tolerant greedy and Baswana–Sen spanners, the
 // Dinitz–Krauthgamer reduction, distributed constructions in the LOCAL and
 // CONGEST models (BuildLOCAL, BuildCONGEST) on a message-passing simulator,
-// verification utilities (Verify, VerifySampled, MaxStretch), and
-// reproducible random workload generators (see the Random* helpers).
+// verification utilities (Verify, VerifySampled, MaxStretch), dynamic
+// maintenance under batched edge churn (NewMaintainer), a concurrent
+// query-serving engine answering distance/path queries under per-query
+// fault sets (NewOracle; served over HTTP by cmd/ftserve), and reproducible
+// random workload generators (the Random* graph helpers plus the
+// UniformQueryPairs / ZipfQueryPairs / FaultBurstSchedule query workloads).
 //
 // Quick start:
 //
@@ -42,6 +46,7 @@ import (
 	"ftspanner/internal/dynamic"
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
+	"ftspanner/internal/oracle"
 	"ftspanner/internal/sp"
 	"ftspanner/internal/spanner"
 	"ftspanner/internal/verify"
@@ -97,12 +102,16 @@ type Options struct {
 	// instead). 0 selects GOMAXPROCS; 1 forces the sequential path.
 	// Results are byte-identical for every value.
 	Parallelism int
-	// StalenessBudget tunes NewMaintainer only: the fraction of live edges
-	// a deletion batch may invalidate before the maintainer rebuilds the
-	// spanner from scratch instead of repairing it edge by edge. 0 selects
-	// the default (0.25); values >= 1 effectively disable rebuilds. Build
-	// and BuildExact ignore it.
+	// StalenessBudget tunes NewMaintainer and NewOracle only: the fraction
+	// of live edges a deletion batch may invalidate before the maintainer
+	// rebuilds the spanner from scratch instead of repairing it edge by
+	// edge. 0 selects the default (0.25); values >= 1 effectively disable
+	// rebuilds. Build and BuildExact ignore it.
 	StalenessBudget float64
+	// CacheCapacity tunes NewOracle only: the total entry budget of its
+	// query-result cache. 0 selects the default (32768); negative disables
+	// caching. Every other entry point ignores it.
+	CacheCapacity int
 }
 
 // normalizeMode maps the zero FaultMode to VertexFaults, so that the
@@ -258,6 +267,48 @@ func NewMaintainer(g *Graph, opts Options) (*Maintainer, error) {
 		F:               opts.F,
 		Mode:            opts.mode(),
 		StalenessBudget: opts.StalenessBudget,
+	})
+}
+
+// Oracle is a thread-safe query engine serving distance/path queries on a
+// maintained fault-tolerant spanner under per-query fault sets. Queries run
+// concurrently on pooled zero-allocation searchers against the current
+// spanner snapshot; hot answers come from an epoch-stamped result cache;
+// Oracle.Apply services churn batches and invalidates the cache in O(1) by
+// bumping the epoch. See NewOracle.
+type Oracle = oracle.Oracle
+
+// QueryOptions carries one query's fault set (vertex IDs or edge endpoint
+// pairs, per the oracle's FaultMode) and cache directive.
+type QueryOptions = oracle.QueryOptions
+
+// QueryResult is one served answer: the distance and realizing path on the
+// spanner snapshot identified by its Epoch, plus whether it was served from
+// the cache.
+type QueryResult = oracle.QueryResult
+
+// OracleStats is a point-in-time snapshot of an Oracle's serving counters:
+// queries, cache hits/misses/size, epoch, batches, and the underlying
+// MaintainerStats.
+type OracleStats = oracle.Stats
+
+// NewOracle builds the F-fault-tolerant (2K-1)-spanner of g (recording
+// repair certificates, like NewMaintainer) and returns an Oracle serving
+// distance/path queries on it. g is cloned and never mutated. All Oracle
+// methods are safe for concurrent use: queries proceed in parallel and
+// compose with Oracle.Apply churn batches under an internal RWMutex.
+//
+// For any fault set F of at most Options.F failures (of Options.Mode) and
+// any surviving pair, the served distance is at most 2K-1 times the true
+// distance in the faulted source graph — the spanner guarantee, delivered
+// as a service.
+func NewOracle(g *Graph, opts Options) (*Oracle, error) {
+	return oracle.New(g, oracle.Config{
+		K:               opts.K,
+		F:               opts.F,
+		Mode:            opts.mode(),
+		StalenessBudget: opts.StalenessBudget,
+		CacheCapacity:   opts.CacheCapacity,
 	})
 }
 

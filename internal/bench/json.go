@@ -37,6 +37,10 @@ type CoreBench struct {
 	// Churn is the dynamic-maintenance series: batched repair vs full
 	// rebuild on evolving graphs (see ChurnPoint).
 	Churn []ChurnPoint `json:"churn"`
+	// Serve is the query-serving series: closed-loop load generation
+	// against the concurrent oracle under interleaved churn (see
+	// ServePoint).
+	Serve []ServePoint `json:"serve"`
 }
 
 // BenchPoint is one measured hot path.
@@ -216,6 +220,13 @@ func RunCoreBench(cfg Config) (*CoreBench, error) {
 		return nil, err
 	}
 	out.Churn = churn
+
+	// Query serving: concurrent load generation against the oracle.
+	serve, err := runServeBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Serve = serve
 
 	out.ElapsedSec = time.Since(start).Seconds()
 	return out, nil

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/oracle"
+	"ftspanner/internal/verify"
+)
+
+// ServePoint is one closed-loop load-generator measurement against the
+// query oracle: a fixed number of client goroutines replay a deterministic
+// query workload (uniform or Zipf-skewed pairs, a fraction carrying fault
+// bursts) while churn batches are interleaved at query-count checkpoints,
+// and the per-query latencies are recorded. HotNsPerOp vs ColdNsPerOp
+// isolates the result cache: the same hot pair served from the cache versus
+// recomputed with QueryOptions.NoCache.
+type ServePoint struct {
+	Workload     string  `json:"workload"` // "uniform" | "zipf"
+	N            int     `json:"n"`
+	M0           int     `json:"m0"`
+	K            int     `json:"k"`
+	F            int     `json:"f"`
+	Clients      int     `json:"clients"`
+	Queries      int     `json:"queries"`
+	ChurnBatches int     `json:"churn_batches"`
+	QPS          float64 `json:"qps"`
+	P50Ns        float64 `json:"p50_ns"`
+	P99Ns        float64 `json:"p99_ns"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	HotNsPerOp   float64 `json:"hot_cached_ns_per_op"`
+	ColdNsPerOp  float64 `json:"cold_uncached_ns_per_op"`
+	HotSpeedup   float64 `json:"speedup_hot_vs_cold"`
+}
+
+// runServePoint drives one workload against a fresh oracle.
+func runServePoint(cfg Config, workload string, n, queries, clients, churnBatches int) (ServePoint, error) {
+	pt := ServePoint{Workload: workload, N: n, K: 2, F: 2, Clients: clients, Queries: queries, ChurnBatches: churnBatches}
+	rng := rand.New(rand.NewSource(cfg.Seed + 300))
+	g, err := gnpDegree(rng, n, 8)
+	if err != nil {
+		return pt, err
+	}
+	pt.M0 = g.M()
+	o, err := oracle.New(g, oracle.Config{K: pt.K, F: pt.F})
+	if err != nil {
+		return pt, err
+	}
+
+	// Deterministic workload: pairs, fault bursts (a small pool, so faulted
+	// queries also re-hit the cache), and the churn schedule.
+	var pairs []gen.Pair
+	switch workload {
+	case "uniform":
+		pairs, err = gen.UniformPairs(rng, n, queries)
+	case "zipf":
+		pairs, err = gen.ZipfPairs(rng, n, queries, 64, 1.2)
+	default:
+		err = fmt.Errorf("bench: unknown serve workload %q", workload)
+	}
+	if err != nil {
+		return pt, err
+	}
+	bursts, err := gen.FaultBursts(rng, n, pt.F, 4)
+	if err != nil {
+		return pt, err
+	}
+	sched, err := makeSchedule(rng, g, churnBatches, 2, 2)
+	if err != nil {
+		return pt, err
+	}
+
+	// Closed loop: clients split the workload by stride and issue queries
+	// back to back; the churn goroutine applies batch i once the global
+	// progress counter passes i/churnBatches of the workload, interleaving
+	// by count rather than wall time so runs are comparable across machines.
+	var issued atomic.Int64
+	var clientsDone atomic.Bool
+	latencies := make([][]int64, clients)
+	errs := make([]error, clients)
+	var wg, cwg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		cwg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer cwg.Done()
+			lat := make([]int64, 0, queries/clients+1)
+			for i := c; i < len(pairs); i += clients {
+				p := pairs[i]
+				var opts oracle.QueryOptions
+				// Every 8th query OF EACH CLIENT arrives with a fault burst
+				// (i/clients is the client's own query counter — gating on
+				// i%8 would alias with the stride and fault only client 0).
+				if step := i / clients; step%8 == 0 {
+					opts.FaultVertices = bursts[(step/8)%len(bursts)]
+				}
+				t0 := time.Now()
+				_, err := o.Query(p.U, p.V, opts)
+				lat = append(lat, time.Since(t0).Nanoseconds())
+				issued.Add(1) // count failures too, so the churn goroutine can't stall
+				if err != nil {
+					errs[c] = err
+					return
+				}
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	go func() {
+		cwg.Wait()
+		clientsDone.Store(true)
+	}()
+	churnErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, b := range sched.batches {
+			threshold := int64((i + 1) * queries / (churnBatches + 1))
+			for issued.Load() < threshold && !clientsDone.Load() {
+				time.Sleep(50 * time.Microsecond)
+			}
+			if err := o.Apply(b); err != nil {
+				churnErr <- err
+				return
+			}
+		}
+		churnErr <- nil
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := <-churnErr; err != nil {
+		return pt, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return pt, err
+		}
+	}
+
+	var all []int64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pt.QPS = float64(len(all)) / elapsed.Seconds()
+	pt.P50Ns = float64(all[len(all)/2])
+	pt.P99Ns = float64(all[len(all)*99/100])
+	st := o.Stats()
+	pt.CacheHitRate = st.HitRate
+
+	// Hot-vs-cold: one deterministic set of pairs, served twice — warm from
+	// the cache versus recomputed with NoCache. Cycling a set (rather than
+	// timing one pair) keeps the comparison honest: a single random pair
+	// can be adjacent, where even the cold search exits in nanoseconds.
+	hotSet, err := gen.UniformPairs(rng, n, 64)
+	if err != nil {
+		return pt, err
+	}
+	for _, p := range hotSet {
+		if _, err := o.Query(p.U, p.V, oracle.QueryOptions{}); err != nil {
+			return pt, err
+		}
+	}
+	target := 20 * time.Millisecond
+	if !cfg.Quick {
+		target = 100 * time.Millisecond
+	}
+	var hotIdx, coldIdx int
+	pt.HotNsPerOp, _ = measureNs(target, func() {
+		p := hotSet[hotIdx%len(hotSet)]
+		hotIdx++
+		if _, err := o.Query(p.U, p.V, oracle.QueryOptions{}); err != nil {
+			panic(err)
+		}
+	})
+	pt.ColdNsPerOp, _ = measureNs(target, func() {
+		p := hotSet[coldIdx%len(hotSet)]
+		coldIdx++
+		if _, err := o.Query(p.U, p.V, oracle.QueryOptions{NoCache: true}); err != nil {
+			panic(err)
+		}
+	})
+	pt.HotSpeedup = pt.ColdNsPerOp / pt.HotNsPerOp
+
+	// Untimed correctness gate: the served spanner is still a valid f-FT
+	// (2k-1)-spanner of the churned graph.
+	snapG, snapH, _ := o.Snapshot()
+	vrng := rand.New(rand.NewSource(2))
+	rep, err := verify.Sampled(snapG, snapH, float64(2*pt.K-1), pt.F, o.Config().Mode, vrng, 20)
+	if err != nil {
+		return pt, err
+	}
+	if !rep.OK {
+		return pt, fmt.Errorf("bench: serve %s: post-churn spanner invalid: %v", workload, rep.Violation)
+	}
+	return pt, nil
+}
+
+// runServeBench produces the serve[] series for BENCH_core.json: the
+// uniform (cache-hostile) and Zipf (cache-friendly) query mixes, both with
+// interleaved churn.
+func runServeBench(cfg Config) ([]ServePoint, error) {
+	n, queries, clients, churn := 256, 40000, 8, 8
+	if cfg.Quick {
+		n, queries, clients, churn = 128, 8000, 8, 4
+	}
+	var out []ServePoint
+	for _, workload := range []string{"uniform", "zipf"} {
+		pt, err := runServePoint(cfg, workload, n, queries, clients, churn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

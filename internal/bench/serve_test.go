@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// The serve harness must produce sane, internally consistent points: both
+// workloads present, latency percentiles ordered, churn fully applied, a
+// real cache-hit advantage on the hot pair, and a clearly skew-dependent
+// hit rate (Zipf must beat uniform).
+func TestRunServeBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation in -short mode")
+	}
+	pts, err := runServeBench(Config{Seed: 12345, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Workload != "uniform" || pts[1].Workload != "zipf" {
+		t.Fatalf("workloads: %+v", pts)
+	}
+	for _, pt := range pts {
+		if pt.QPS <= 0 {
+			t.Errorf("%s: QPS %v", pt.Workload, pt.QPS)
+		}
+		if pt.P50Ns <= 0 || pt.P99Ns < pt.P50Ns {
+			t.Errorf("%s: percentiles p50=%v p99=%v", pt.Workload, pt.P50Ns, pt.P99Ns)
+		}
+		if pt.CacheHitRate < 0 || pt.CacheHitRate > 1 {
+			t.Errorf("%s: hit rate %v", pt.Workload, pt.CacheHitRate)
+		}
+		if pt.HotSpeedup < 2 {
+			t.Errorf("%s: cached hot pair only %.1fx faster than cold (hot %v ns, cold %v ns)",
+				pt.Workload, pt.HotSpeedup, pt.HotNsPerOp, pt.ColdNsPerOp)
+		}
+	}
+	if pts[1].CacheHitRate <= pts[0].CacheHitRate {
+		t.Errorf("zipf hit rate %.3f not above uniform %.3f — skew is not reaching the cache",
+			pts[1].CacheHitRate, pts[0].CacheHitRate)
+	}
+}

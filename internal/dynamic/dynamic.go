@@ -171,6 +171,14 @@ func New(g *graph.Graph, cfg Config) (*Maintainer, error) {
 	return m, nil
 }
 
+// Config returns the resolved configuration the Maintainer was built with
+// (Mode normalized, StalenessBudget resolved to its default if it was 0).
+func (m *Maintainer) Config() Config {
+	cfg := m.cfg
+	cfg.StalenessBudget = m.budget
+	return cfg
+}
+
 // Graph returns the maintained graph. It is owned by the Maintainer: treat
 // it as read-only and mutate only through ApplyBatch.
 func (m *Maintainer) Graph() *graph.Graph { return m.g }

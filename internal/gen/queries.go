@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pair is one distance-query endpoint pair of a query workload.
+type Pair struct {
+	U, V int
+}
+
+// UniformPairs returns count independent uniform query pairs on [0, n):
+// each pair has u != v, both drawn uniformly. This is the cache-hostile
+// workload — with C(n,2) possible pairs, repeats (and so cache hits) are
+// rare until count is large. Deterministic in rng.
+func UniformPairs(rng *rand.Rand, n, count int) ([]Pair, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: UniformPairs needs n >= 2, got %d", n)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("gen: UniformPairs needs count >= 0, got %d", count)
+	}
+	out := make([]Pair, 0, count)
+	for len(out) < count {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		out = append(out, Pair{U: u, V: v})
+	}
+	return out, nil
+}
+
+// ZipfPairs returns count query pairs drawn with Zipf(s) skew from a pool of
+// `pool` distinct uniform pairs: the pool is sampled first (deterministic in
+// rng), then each query picks pool index Zipf-distributed with exponent s
+// (s > 1, as required by math/rand.Zipf), so a handful of hot pairs receive
+// most of the traffic. This is the cache-friendly serving workload: the
+// expected hit rate of an LRU-ish result cache is governed directly by s.
+// Deterministic in rng.
+func ZipfPairs(rng *rand.Rand, n, count, pool int, s float64) ([]Pair, error) {
+	if pool < 1 {
+		return nil, fmt.Errorf("gen: ZipfPairs needs pool >= 1, got %d", pool)
+	}
+	maxPairs := int64(n) * int64(n-1) / 2
+	if int64(pool) > maxPairs {
+		return nil, fmt.Errorf("gen: ZipfPairs pool %d exceeds C(%d,2)=%d", pool, n, maxPairs)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("gen: ZipfPairs needs exponent s > 1, got %v", s)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("gen: ZipfPairs needs count >= 0, got %d", count)
+	}
+	hot := make([]Pair, 0, pool)
+	seen := make(map[[2]int]bool, pool)
+	for len(hot) < pool {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		ku, kv := u, v
+		if ku > kv {
+			ku, kv = kv, ku
+		}
+		if seen[[2]int{ku, kv}] {
+			continue
+		}
+		seen[[2]int{ku, kv}] = true
+		hot = append(hot, Pair{U: u, V: v})
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(pool-1))
+	out := make([]Pair, count)
+	for i := range out {
+		out[i] = hot[z.Uint64()]
+	}
+	return out, nil
+}
+
+// FaultBursts returns a schedule of `bursts` fault sets over the ID space
+// [0, limit): each burst has between 1 and f distinct IDs (vertex IDs for
+// vertex-fault serving, edge IDs or pair indices for edge-fault serving —
+// the generator is agnostic). Serving layers replay the schedule round-robin
+// to model correlated failures arriving in bursts rather than one at a
+// time. Deterministic in rng.
+func FaultBursts(rng *rand.Rand, limit, f, bursts int) ([][]int, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("gen: FaultBursts needs limit >= 1, got %d", limit)
+	}
+	if f < 1 || f > limit {
+		return nil, fmt.Errorf("gen: FaultBursts needs 1 <= f <= limit, got f=%d limit=%d", f, limit)
+	}
+	if bursts < 0 {
+		return nil, fmt.Errorf("gen: FaultBursts needs bursts >= 0, got %d", bursts)
+	}
+	out := make([][]int, bursts)
+	for i := range out {
+		size := 1 + rng.Intn(f)
+		burst := make([]int, 0, size)
+		used := make(map[int]bool, size)
+		for len(burst) < size {
+			id := rng.Intn(limit)
+			if used[id] {
+				continue
+			}
+			used[id] = true
+			burst = append(burst, id)
+		}
+		out[i] = burst
+	}
+	return out, nil
+}

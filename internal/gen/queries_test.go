@@ -1,0 +1,131 @@
+package gen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Every query-workload generator must be a pure function of its rng: the
+// same seed replays byte-identically (ftserve's load generator and the
+// bench harness rely on this to share one workload source).
+func TestQueryWorkloadsSeedDeterminism(t *testing.T) {
+	gen1 := func(seed int64) ([]Pair, []Pair, [][]int) {
+		rng := rand.New(rand.NewSource(seed))
+		up, err := UniformPairs(rng, 100, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zp, err := ZipfPairs(rng, 100, 500, 32, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := FaultBursts(rng, 100, 3, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return up, zp, fb
+	}
+	u1, z1, f1 := gen1(42)
+	u2, z2, f2 := gen1(42)
+	if !reflect.DeepEqual(u1, u2) {
+		t.Error("UniformPairs not deterministic per seed")
+	}
+	if !reflect.DeepEqual(z1, z2) {
+		t.Error("ZipfPairs not deterministic per seed")
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Error("FaultBursts not deterministic per seed")
+	}
+	u3, z3, f3 := gen1(43)
+	if reflect.DeepEqual(u1, u3) && reflect.DeepEqual(z1, z3) && reflect.DeepEqual(f1, f3) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestUniformPairsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pairs, err := UniformPairs(rng, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1000 {
+		t.Fatalf("got %d pairs, want 1000", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.U == p.V || p.U < 0 || p.U >= 10 || p.V < 0 || p.V >= 10 {
+			t.Fatalf("bad pair %+v", p)
+		}
+	}
+	if _, err := UniformPairs(rng, 1, 5); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+// The Zipf workload must actually be skewed: the hottest pair of the pool
+// receives well more than a uniform share of the queries, and all pairs
+// come from a pool of the requested size.
+func TestZipfPairsSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const pool, count = 16, 4000
+	pairs, err := ZipfPairs(rng, 50, count, pool, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make(map[Pair]int)
+	for _, p := range pairs {
+		freq[p]++
+	}
+	if len(freq) > pool {
+		t.Fatalf("workload uses %d distinct pairs, pool was %d", len(freq), pool)
+	}
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*count/pool {
+		t.Errorf("hottest pair got %d of %d queries — not Zipf-skewed", max, count)
+	}
+	if _, err := ZipfPairs(rng, 50, 10, 16, 1.0); err == nil {
+		t.Error("s=1.0 accepted (rand.NewZipf needs s>1)")
+	}
+	if _, err := ZipfPairs(rng, 4, 10, 100, 1.2); err == nil {
+		t.Error("pool larger than C(n,2) accepted")
+	}
+}
+
+func TestFaultBurstsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bursts, err := FaultBursts(rng, 30, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 200 {
+		t.Fatalf("got %d bursts, want 200", len(bursts))
+	}
+	sizes := make(map[int]int)
+	for _, b := range bursts {
+		if len(b) < 1 || len(b) > 4 {
+			t.Fatalf("burst size %d out of [1,4]", len(b))
+		}
+		sizes[len(b)]++
+		seen := make(map[int]bool)
+		for _, id := range b {
+			if id < 0 || id >= 30 {
+				t.Fatalf("fault ID %d out of range", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate fault ID %d in burst %v", id, b)
+			}
+			seen[id] = true
+		}
+	}
+	if len(sizes) < 2 {
+		t.Error("all bursts the same size — sizes should vary in [1,f]")
+	}
+	if _, err := FaultBursts(rng, 3, 5, 1); err == nil {
+		t.Error("f > limit accepted")
+	}
+}

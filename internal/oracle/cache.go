@@ -1,0 +1,140 @@
+package oracle
+
+import "sync"
+
+// DefaultCacheCapacity is the default total entry budget of the result
+// cache (Config.CacheCapacity = 0).
+const DefaultCacheCapacity = 1 << 15
+
+// cacheShards is the number of independently locked cache shards. Queries
+// hold the oracle's read lock while touching the cache, so many goroutines
+// hit it concurrently; sharding keeps them off one mutex.
+const cacheShards = 64
+
+// cacheKey identifies one cached answer: the (directed) endpoint pair plus
+// the canonical encoding of the fault set (see canonFaults). Direction is
+// part of the key — (u,v) and (v,u) cache separately — so a hit returns its
+// stored path with no per-hit reversal or copy.
+type cacheKey struct {
+	u, v   int32
+	faults string
+}
+
+// cacheEntry is one cached answer, valid only while its epoch matches the
+// oracle's: ApplyBatch bumps the epoch, which invalidates every entry at
+// once without touching them (they are evicted lazily on lookup or by
+// capacity pressure).
+type cacheEntry struct {
+	epoch uint64
+	dist  float64
+	path  []int
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]cacheEntry
+}
+
+// resultCache is a sharded, capacity-bounded map from query keys to
+// epoch-stamped answers.
+type resultCache struct {
+	perShard int // entry budget per shard
+	shards   [cacheShards]cacheShard
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	perShard := capacity / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &resultCache{perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]cacheEntry)
+	}
+	return c
+}
+
+// hash is FNV-1a over the key's fields; only the low bits select a shard.
+func (k cacheKey) hash() uint32 {
+	h := uint32(2166136261)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	for shift := 0; shift < 32; shift += 8 {
+		mix(byte(k.u >> shift))
+		mix(byte(k.v >> shift))
+	}
+	for i := 0; i < len(k.faults); i++ {
+		mix(k.faults[i])
+	}
+	return h
+}
+
+func (c *resultCache) shard(k cacheKey) *cacheShard {
+	return &c.shards[k.hash()%cacheShards]
+}
+
+// get returns the entry for k if it exists at the current epoch. A stale
+// entry (older epoch) is deleted and reported as a miss.
+func (c *resultCache) get(k cacheKey, epoch uint64) (cacheEntry, bool) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if ok && e.epoch != epoch {
+		delete(sh.m, k)
+		ok = false
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+// put stores an entry, evicting one entry of the shard if it is at its
+// budget. The victim scan (bounded, pseudo-random via map iteration order)
+// prefers a stale entry — after an epoch bump the shard is typically full
+// of dead entries, and evicting those instead of a random victim keeps the
+// fresh minority alive while the stale bulk drains.
+func (c *resultCache) put(k cacheKey, e cacheEntry) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if _, exists := sh.m[k]; !exists && len(sh.m) >= c.perShard {
+		var fallback cacheKey
+		haveFallback, evicted, scanned := false, false, 0
+		for victim, ve := range sh.m {
+			if ve.epoch != e.epoch {
+				delete(sh.m, victim)
+				evicted = true
+				break
+			}
+			if !haveFallback {
+				fallback, haveFallback = victim, true
+			}
+			if scanned++; scanned >= 8 {
+				break
+			}
+		}
+		if !evicted && haveFallback {
+			delete(sh.m, fallback)
+		}
+	}
+	sh.m[k] = e
+	sh.mu.Unlock()
+}
+
+// len returns the total live entry count (stale entries included — they are
+// only collected lazily).
+func (c *resultCache) len() int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,227 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/lbc"
+)
+
+// The JSON serving API (cmd/ftserve mounts this handler):
+//
+//	GET  /healthz          -> {"ok":true,"epoch":3}
+//	GET  /stats            -> the Stats struct
+//	POST /query            -> QueryResponse for a QueryRequest body
+//	GET  /query?u=0&v=5&faults=2,7&no_cache=1
+//	                          (edge mode spells faults as "2-7,3-9" pairs)
+//	POST /batch            -> BatchResponse for a BatchRequest body
+//
+// Errors return {"error": "..."} with status 400 (bad request), 404, or 405
+// (method not allowed). Distances are JSON-safe: a disconnected pair has
+// "reachable": false and distance -1 (JSON cannot carry +Inf).
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	U int `json:"u"`
+	V int `json:"v"`
+	// FaultVertices / FaultEdges mirror QueryOptions (per the oracle mode).
+	FaultVertices []int    `json:"fault_vertices,omitempty"`
+	FaultEdges    [][2]int `json:"fault_edges,omitempty"`
+	NoCache       bool     `json:"no_cache,omitempty"`
+}
+
+// QueryResponse is the /query reply.
+type QueryResponse struct {
+	U         int     `json:"u"`
+	V         int     `json:"v"`
+	Reachable bool    `json:"reachable"`
+	Distance  float64 `json:"distance"` // -1 when unreachable
+	Path      []int   `json:"path,omitempty"`
+	Epoch     uint64  `json:"epoch"`
+	CacheHit  bool    `json:"cache_hit"`
+	ServerNs  int64   `json:"server_ns"`
+}
+
+// BatchRequest is the POST /batch body: one atomic churn batch.
+type BatchRequest struct {
+	Insert []BatchUpdate `json:"insert,omitempty"`
+	Delete []BatchUpdate `json:"delete,omitempty"`
+}
+
+// BatchUpdate names one endpoint pair (weight used by insertions into
+// weighted graphs; 0 means weight 1 on unweighted ones).
+type BatchUpdate struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w,omitempty"`
+}
+
+// BatchResponse is the /batch reply.
+type BatchResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	ServerNs int64  `json:"server_ns"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHTTPHandler returns the JSON serving API over o. cmd/ftserve mounts it
+// at the root; tests mount it on httptest servers.
+func NewHTTPHandler(o *Oracle) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": o.Epoch()})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, o.Stats())
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{fmt.Sprintf("method %s not allowed (use GET or POST)", r.Method)})
+			return
+		}
+		req, err := decodeQueryRequest(r, o.Config().Mode)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		start := time.Now()
+		res, err := o.Query(req.U, req.V, QueryOptions{
+			FaultVertices: req.FaultVertices,
+			FaultEdges:    req.FaultEdges,
+			NoCache:       req.NoCache,
+		})
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		resp := QueryResponse{
+			U: res.U, V: res.V,
+			Reachable: !math.IsInf(res.Distance, 1),
+			Distance:  res.Distance,
+			Path:      res.Path,
+			Epoch:     res.Epoch,
+			CacheHit:  res.CacheHit,
+			ServerNs:  time.Since(start).Nanoseconds(),
+		}
+		if !resp.Reachable {
+			resp.Distance = -1
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decode batch: %v", err)})
+			return
+		}
+		b := dynamic.Batch{}
+		for _, ins := range req.Insert {
+			b.Insert = append(b.Insert, dynamic.Update{U: ins.U, V: ins.V, W: ins.W})
+		}
+		for _, del := range req.Delete {
+			b.Delete = append(b.Delete, dynamic.Update{U: del.U, V: del.V})
+		}
+		start := time.Now()
+		epoch, err := o.apply(b)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{
+			Epoch:    epoch,
+			Inserted: len(b.Insert),
+			Deleted:  len(b.Delete),
+			ServerNs: time.Since(start).Nanoseconds(),
+		})
+	})
+	return mux
+}
+
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{fmt.Sprintf("method %s not allowed (use %s)", r.Method, method)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeQueryRequest accepts POST (JSON body) and GET (query parameters:
+// u, v, faults, no_cache). GET fault syntax follows the oracle's mode:
+// "3,17" vertex IDs, or "3-17,4-9" endpoint pairs.
+func decodeQueryRequest(r *http.Request, mode lbc.Mode) (QueryRequest, error) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("decode query: %v", err)
+		}
+		return req, nil
+	case http.MethodGet:
+		q := r.URL.Query()
+		var err error
+		if req.U, err = strconv.Atoi(q.Get("u")); err != nil {
+			return req, fmt.Errorf("parameter u: %v", err)
+		}
+		if req.V, err = strconv.Atoi(q.Get("v")); err != nil {
+			return req, fmt.Errorf("parameter v: %v", err)
+		}
+		if nc := q.Get("no_cache"); nc == "1" || nc == "true" {
+			req.NoCache = true
+		}
+		faults := q.Get("faults")
+		if faults == "" {
+			return req, nil
+		}
+		for _, tok := range strings.Split(faults, ",") {
+			if mode == lbc.Edge {
+				ab := strings.SplitN(tok, "-", 2)
+				if len(ab) != 2 {
+					return req, fmt.Errorf("fault %q: edge faults are endpoint pairs like 3-17", tok)
+				}
+				a, err := strconv.Atoi(ab[0])
+				if err != nil {
+					return req, fmt.Errorf("fault %q: %v", tok, err)
+				}
+				b, err := strconv.Atoi(ab[1])
+				if err != nil {
+					return req, fmt.Errorf("fault %q: %v", tok, err)
+				}
+				req.FaultEdges = append(req.FaultEdges, [2]int{a, b})
+				continue
+			}
+			id, err := strconv.Atoi(tok)
+			if err != nil {
+				return req, fmt.Errorf("fault %q: %v", tok, err)
+			}
+			req.FaultVertices = append(req.FaultVertices, id)
+		}
+		return req, nil
+	default:
+		return req, fmt.Errorf("method %s not allowed (use GET or POST)", r.Method)
+	}
+}

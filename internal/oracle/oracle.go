@@ -1,0 +1,379 @@
+// Package oracle serves distance/path queries on a maintained
+// fault-tolerant spanner under high concurrency.
+//
+// This is the layer that turns the library into a system: the constructions
+// (internal/core) build an f-fault-tolerant (2k-1)-spanner, the maintainer
+// (internal/dynamic) keeps it valid under churn, and the Oracle answers the
+// queries the spanner exists for — "what is the distance / route between u
+// and v given that these elements have failed?" — while both are happening
+// at once.
+//
+// Three mechanisms make serving fast and safe:
+//
+//   - A sync.Pool of warm sp.Searchers: each query borrows a preallocated
+//     shortest-path engine, so concurrent cache-miss queries run BFS or
+//     Dijkstra with no per-query scratch allocation.
+//   - An epoch-stamped result cache keyed by (u, v, canonical fault set):
+//     repeated queries for hot pairs are one sharded map lookup. Every
+//     Apply bumps the epoch, invalidating the whole cache in O(1); stale
+//     entries are collected lazily.
+//   - A sync.RWMutex composing serving with maintenance: queries share the
+//     read side and run concurrently against the current spanner snapshot;
+//     Apply takes the write side, mutates graph and spanner through
+//     dynamic.Maintainer.ApplyBatch, and bumps the epoch before releasing
+//     it. Every answer therefore reflects exactly one epoch's snapshot, and
+//     QueryResult.Epoch names which.
+//
+// The fault-tolerance guarantee the caller inherits: for any fault set F
+// with |F| <= f (of the oracle's mode), the served distance d_{H\F}(u,v) is
+// at most (2k-1) · d_{G\F}(u,v) — the whole point of serving queries off
+// the sparse spanner instead of the full graph.
+package oracle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// K is the stretch parameter: answers have stretch at most 2K-1 versus
+	// the faulted source graph. Must be >= 1.
+	K int
+	// F is the fault budget: the maximum per-query fault-set size served
+	// with a stretch guarantee. Queries with more faults are rejected.
+	F int
+	// Mode selects what fails: vertices (queries pass FaultVertices) or
+	// edges (queries pass FaultEdges). Zero value means vertex faults.
+	Mode lbc.Mode
+	// StalenessBudget is passed through to the dynamic.Maintainer.
+	StalenessBudget float64
+	// CacheCapacity bounds the result cache's total entries. 0 selects
+	// DefaultCacheCapacity; negative disables caching entirely.
+	CacheCapacity int
+}
+
+// QueryOptions carries a query's fault set and cache directive.
+type QueryOptions struct {
+	// FaultVertices lists failed vertex IDs (vertex-fault oracles only).
+	// At most Config.F after deduplication.
+	FaultVertices []int
+	// FaultEdges lists failed edges as endpoint pairs (edge-fault oracles
+	// only), at most Config.F after normalization and deduplication. A pair
+	// that is not currently an edge is accepted and acts as a no-op: under
+	// churn a client may name an edge that was just deleted, and "that edge
+	// is down" remains trivially true.
+	FaultEdges [][2]int
+	// NoCache bypasses the result cache in both directions: the answer is
+	// recomputed and not stored. Benchmarks use it to measure cold cost.
+	NoCache bool
+}
+
+// QueryResult is one served answer.
+type QueryResult struct {
+	U, V int
+	// Distance is d_{H\F}(U, V) on the spanner snapshot of Epoch: weighted
+	// distance on weighted graphs, hop count otherwise, +Inf if the fault
+	// set disconnects the pair.
+	Distance float64
+	// Path is the realizing vertex sequence from U to V (nil when Distance
+	// is +Inf). Cached answers share one slice across callers: treat it as
+	// read-only.
+	Path []int
+	// Epoch identifies the spanner snapshot the answer is valid for; it
+	// increments on every Apply. Compare with Oracle.Snapshot to re-verify
+	// an answer against the exact graph/spanner state that produced it.
+	Epoch uint64
+	// CacheHit reports whether the answer came from the result cache.
+	CacheHit bool
+}
+
+// Stats is a point-in-time snapshot of the oracle's counters.
+type Stats struct {
+	Queries     uint64  `json:"queries"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	CacheSize   int     `json:"cache_size"`
+	HitRate     float64 `json:"hit_rate"`
+	Epoch       uint64  `json:"epoch"`
+	Batches     uint64  `json:"batches"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	SpannerM    int     `json:"spanner_m"`
+	K           int     `json:"k"`
+	F           int     `json:"f"`
+	Mode        string  `json:"mode"`
+	// Maintainer exposes the underlying repair counters.
+	Maintainer dynamic.Stats `json:"maintainer"`
+}
+
+// Oracle is a thread-safe query engine over a maintained fault-tolerant
+// spanner. All methods are safe for concurrent use.
+type Oracle struct {
+	cfg Config
+	n   int
+
+	// mu orders queries (read side) against Apply (write side). epoch is
+	// guarded by mu: a query reads it under RLock together with the spanner
+	// it describes, so the pair is always consistent.
+	mu    sync.RWMutex
+	m     *dynamic.Maintainer
+	epoch uint64
+
+	searchers sync.Pool // *sp.Searcher
+	cache     *resultCache
+
+	queries atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	batches atomic.Uint64
+}
+
+// New builds the F-fault-tolerant (2K-1)-spanner of g (via
+// dynamic.New, so later Apply batches repair rather than rebuild it) and
+// returns an Oracle serving queries on it. g is cloned and never mutated.
+func New(g *graph.Graph, cfg Config) (*Oracle, error) {
+	m, err := dynamic.New(g, dynamic.Config{
+		K:               cfg.K,
+		F:               cfg.F,
+		Mode:            cfg.Mode,
+		StalenessBudget: cfg.StalenessBudget,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	// Adopt the maintainer's resolved knobs (Mode normalized to Vertex,
+	// StalenessBudget defaulted) so Config() reports what actually runs.
+	mc := m.Config()
+	cfg.Mode = mc.Mode
+	cfg.StalenessBudget = mc.StalenessBudget
+	o := &Oracle{cfg: cfg, n: g.N(), m: m, epoch: 1}
+	hintN, hintM := g.N(), g.EdgeIDLimit()
+	o.searchers.New = func() any { return sp.NewSearcher(hintN, hintM) }
+	if cfg.CacheCapacity >= 0 {
+		o.cache = newResultCache(cfg.CacheCapacity)
+	}
+	return o, nil
+}
+
+// Config returns the oracle's resolved configuration.
+func (o *Oracle) Config() Config { return o.cfg }
+
+// Stretch returns the served stretch bound 2K-1.
+func (o *Oracle) Stretch() int { return 2*o.cfg.K - 1 }
+
+// Epoch returns the current snapshot epoch.
+func (o *Oracle) Epoch() uint64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.epoch
+}
+
+// canonFaults validates a query's fault set against the oracle's mode and
+// budget and returns its canonical encoding for the cache key: sorted,
+// deduplicated element IDs (vertex IDs, or normalized endpoint pairs packed
+// as two int32s) in little-endian bytes. The empty fault set encodes as ""
+// with zero allocation.
+func (o *Oracle) canonFaults(opts QueryOptions) (string, error) {
+	switch o.cfg.Mode {
+	case lbc.Vertex:
+		if len(opts.FaultEdges) > 0 {
+			return "", fmt.Errorf("oracle: FaultEdges on a vertex-fault oracle (mode %v)", o.cfg.Mode)
+		}
+		if len(opts.FaultVertices) == 0 {
+			return "", nil
+		}
+		ids := append([]int(nil), opts.FaultVertices...)
+		sort.Ints(ids)
+		uniq := ids[:0]
+		for i, id := range ids {
+			if id < 0 || id >= o.n {
+				return "", fmt.Errorf("oracle: fault vertex %d out of range [0,%d)", id, o.n)
+			}
+			if i > 0 && id == ids[i-1] {
+				continue
+			}
+			uniq = append(uniq, id)
+		}
+		if len(uniq) > o.cfg.F {
+			return "", fmt.Errorf("oracle: %d fault vertices exceed the budget f=%d", len(uniq), o.cfg.F)
+		}
+		buf := make([]byte, 4*len(uniq))
+		for i, id := range uniq {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(id))
+		}
+		return string(buf), nil
+	case lbc.Edge:
+		if len(opts.FaultVertices) > 0 {
+			return "", fmt.Errorf("oracle: FaultVertices on an edge-fault oracle (mode %v)", o.cfg.Mode)
+		}
+		if len(opts.FaultEdges) == 0 {
+			return "", nil
+		}
+		pairs := make([][2]int, len(opts.FaultEdges))
+		for i, p := range opts.FaultEdges {
+			u, v := p[0], p[1]
+			if u > v {
+				u, v = v, u
+			}
+			if u < 0 || v >= o.n || u == v {
+				return "", fmt.Errorf("oracle: fault edge {%d,%d} out of range [0,%d)", p[0], p[1], o.n)
+			}
+			pairs[i] = [2]int{u, v}
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a][0] != pairs[b][0] {
+				return pairs[a][0] < pairs[b][0]
+			}
+			return pairs[a][1] < pairs[b][1]
+		})
+		uniq := pairs[:0]
+		for i, p := range pairs {
+			if i > 0 && p == pairs[i-1] {
+				continue
+			}
+			uniq = append(uniq, p)
+		}
+		if len(uniq) > o.cfg.F {
+			return "", fmt.Errorf("oracle: %d fault edges exceed the budget f=%d", len(uniq), o.cfg.F)
+		}
+		buf := make([]byte, 8*len(uniq))
+		for i, p := range uniq {
+			binary.LittleEndian.PutUint32(buf[8*i:], uint32(p[0]))
+			binary.LittleEndian.PutUint32(buf[8*i+4:], uint32(p[1]))
+		}
+		return string(buf), nil
+	}
+	return "", fmt.Errorf("oracle: invalid mode %v", o.cfg.Mode)
+}
+
+// Query answers a distance/path query on the current spanner snapshot under
+// the fault set of opts. Hot path: a cache hit is one sharded map lookup
+// under the shared read lock; a miss borrows a pooled searcher and runs one
+// targeted BFS (unweighted) or Dijkstra (weighted) on the spanner minus the
+// fault mask.
+func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
+	if u < 0 || u >= o.n || v < 0 || v >= o.n {
+		return QueryResult{}, fmt.Errorf("oracle: query pair {%d,%d} out of range [0,%d)", u, v, o.n)
+	}
+	faults, err := o.canonFaults(opts)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	o.queries.Add(1)
+	key := cacheKey{u: int32(u), v: int32(v), faults: faults}
+
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	epoch := o.epoch
+	useCache := o.cache != nil && !opts.NoCache
+	if useCache {
+		if e, ok := o.cache.get(key, epoch); ok {
+			o.hits.Add(1)
+			return QueryResult{U: u, V: v, Distance: e.dist, Path: e.path, Epoch: epoch, CacheHit: true}, nil
+		}
+		// Only consulted-and-missed counts as a miss: NoCache and
+		// disabled-cache queries never reach the cache, and counting them
+		// here would deflate the reported hit rate.
+		o.misses.Add(1)
+	}
+
+	h := o.m.Spanner()
+	s := o.searchers.Get().(*sp.Searcher)
+	s.Grow(h.N(), h.EdgeIDLimit())
+	s.ResetBlocked()
+	if o.cfg.Mode == lbc.Vertex {
+		for _, f := range opts.FaultVertices {
+			s.BlockVertex(f)
+		}
+	} else {
+		for _, p := range opts.FaultEdges {
+			if id, ok := h.EdgeBetween(p[0], p[1]); ok {
+				s.BlockEdge(id)
+			}
+		}
+	}
+	dist, pathV, _ := s.DistPath(h, u, v)
+	var path []int
+	if !math.IsInf(dist, 1) {
+		path = append(path, pathV...) // copy off the searcher's buffer
+	}
+	s.ResetBlocked()
+	o.searchers.Put(s)
+
+	if useCache {
+		o.cache.put(key, cacheEntry{epoch: epoch, dist: dist, path: path})
+	}
+	return QueryResult{U: u, V: v, Distance: dist, Path: path, Epoch: epoch}, nil
+}
+
+// Apply services one batch of edge updates through the underlying
+// dynamic.Maintainer and bumps the snapshot epoch, invalidating every
+// cached answer. It blocks new queries for the duration of the repair; a
+// validation error leaves graph, spanner, epoch, and cache unchanged.
+func (o *Oracle) Apply(b dynamic.Batch) error {
+	_, err := o.apply(b)
+	return err
+}
+
+// apply is Apply returning the post-bump epoch, read under the same write
+// lock — the HTTP /batch handler reports it, and a separate Epoch() call
+// after the lock is released could name a later concurrent batch's epoch.
+func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := o.m.ApplyBatch(b); err != nil {
+		return o.epoch, fmt.Errorf("oracle: %w", err)
+	}
+	o.epoch++
+	o.batches.Add(1)
+	return o.epoch, nil
+}
+
+// Snapshot returns deep copies of the current graph and spanner plus the
+// epoch they belong to. A test that holds a QueryResult with the same epoch
+// can re-verify the answer against these exact structures (see
+// verify.CheckServedAnswer).
+func (o *Oracle) Snapshot() (g, h *graph.Graph, epoch uint64) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.m.Graph().Clone(), o.m.Spanner().Clone(), o.epoch
+}
+
+// Stats assembles a consistent snapshot of the counters.
+func (o *Oracle) Stats() Stats {
+	o.mu.RLock()
+	st := Stats{
+		Epoch:      o.epoch,
+		N:          o.m.Graph().N(),
+		M:          o.m.Graph().M(),
+		SpannerM:   o.m.Spanner().M(),
+		Maintainer: o.m.Stats(),
+	}
+	o.mu.RUnlock()
+	st.Queries = o.queries.Load()
+	st.CacheHits = o.hits.Load()
+	st.CacheMisses = o.misses.Load()
+	st.Batches = o.batches.Load()
+	if o.cache != nil {
+		st.CacheSize = o.cache.len()
+	}
+	// HitRate is the hit rate of the cache itself: hits over queries that
+	// consulted it (NoCache and disabled-cache queries consult nothing).
+	if consulted := st.CacheHits + st.CacheMisses; consulted > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(consulted)
+	}
+	st.K = o.cfg.K
+	st.F = o.cfg.F
+	st.Mode = o.cfg.Mode.String()
+	return st
+}

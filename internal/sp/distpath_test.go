@@ -1,0 +1,94 @@
+package sp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/graph"
+)
+
+// DistPath must agree with Dist and return a path that realizes the
+// distance, on both graph kinds and under fault masks.
+func TestDistPathMatchesDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, weighted := range []bool{false, true} {
+		g := graph.New(24)
+		if weighted {
+			g = graph.NewWeighted(24)
+		}
+		for g.M() < 60 {
+			u, v := rng.Intn(24), rng.Intn(24)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			w := 1.0
+			if weighted {
+				w = rng.Float64() + 0.25
+			}
+			g.MustAddEdgeW(u, v, w)
+		}
+		s := NewSearcher(g.N(), g.EdgeIDLimit())
+		for trial := 0; trial < 200; trial++ {
+			u, v := rng.Intn(24), rng.Intn(24)
+			s.ResetBlocked()
+			for b := 0; b < rng.Intn(3); b++ {
+				s.BlockVertex(rng.Intn(24))
+			}
+			d, pv, pe := s.DistPath(g, u, v)
+			// Compare against Dist on a second searcher sharing the mask
+			// state by re-deriving it: rerun with identical blocks.
+			want := s.Dist(g, u, v)
+			if d != want {
+				t.Fatalf("weighted=%v {%d,%d}: DistPath %v, Dist %v", weighted, u, v, d, want)
+			}
+			if math.IsInf(d, 1) {
+				if pv != nil || pe != nil {
+					t.Fatalf("unreachable pair returned a path")
+				}
+				continue
+			}
+			// Re-request the path (Dist clobbered the buffers).
+			d, pv, pe = s.DistPath(g, u, v)
+			if pv[0] != u || pv[len(pv)-1] != v {
+				t.Fatalf("path endpoints %d..%d, want %d..%d", pv[0], pv[len(pv)-1], u, v)
+			}
+			if len(pe) != len(pv)-1 {
+				t.Fatalf("path has %d vertices but %d edges", len(pv), len(pe))
+			}
+			var sum float64
+			for i, id := range pe {
+				e := g.Edge(id)
+				if !g.EdgeAlive(id) {
+					t.Fatalf("dead edge %d on path", id)
+				}
+				if !(e.U == pv[i] && e.V == pv[i+1]) && !(e.V == pv[i] && e.U == pv[i+1]) {
+					t.Fatalf("edge %d does not join path step %d->%d", id, pv[i], pv[i+1])
+				}
+				sum += e.W
+			}
+			if sum != d {
+				t.Fatalf("path weight %v != reported distance %v", sum, d)
+			}
+			for _, x := range pv {
+				if s.VertexBlocked(x) {
+					t.Fatalf("path visits blocked vertex %d", x)
+				}
+			}
+		}
+	}
+}
+
+func TestDistPathSameVertex(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	s := NewSearcher(3, 1)
+	d, pv, pe := s.DistPath(g, 1, 1)
+	if d != 0 || len(pv) != 1 || pv[0] != 1 || pe != nil {
+		t.Fatalf("same-vertex DistPath = (%v, %v, %v)", d, pv, pe)
+	}
+	s.BlockVertex(1)
+	if d, _, _ := s.DistPath(g, 1, 1); !math.IsInf(d, 1) {
+		t.Fatalf("blocked same-vertex DistPath = %v, want +Inf", d)
+	}
+}

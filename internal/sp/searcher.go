@@ -268,7 +268,18 @@ func (s *Searcher) PathWithin(g *graph.Graph, u, v, maxHops int) (vertices, edge
 		return s.pathV, nil, true
 	}
 	s.bfs(g, u, maxHops, v)
-	if s.seen[v] != s.epoch {
+	return s.PathTo(v)
+}
+
+// PathTo reconstructs the path from the most recent search's source to v, as
+// a vertex sequence and the corresponding edge IDs. It is valid after BFS,
+// BFSBounded, and Dijkstra (for Dijkstra, only for vertices whose distance
+// is final: any vertex when the search ran to exhaustion, or the target and
+// its tree ancestors when it stopped early). The slices alias the Searcher's
+// path buffers: valid until the next call, copy to retain. ok is false if v
+// was not reached.
+func (s *Searcher) PathTo(v int) (vertices, edgeIDs []int, ok bool) {
+	if v < 0 || v >= len(s.seen) || s.seen[v] != s.epoch {
 		return nil, nil, false
 	}
 	pv := s.pathV[:0]
@@ -287,6 +298,36 @@ func (s *Searcher) PathWithin(g *graph.Graph, u, v, maxHops int) (vertices, edge
 	}
 	s.pathV, s.pathE = pv, pe
 	return pv, pe, true
+}
+
+// DistPath is Dist plus the shortest path realizing it: the u-v distance in
+// g minus the fault mask (weighted on weighted graphs, hop count otherwise)
+// together with the path's vertex sequence and edge IDs. An unreachable pair
+// returns (+Inf, nil, nil). Like PathWithin, the slices alias the Searcher's
+// path buffers and are valid only until the next call.
+func (s *Searcher) DistPath(g *graph.Graph, u, v int) (dist float64, vertices, edgeIDs []int) {
+	s.Grow(g.N(), g.EdgeIDLimit())
+	if u == v {
+		if s.VertexBlocked(u) {
+			return Inf, nil, nil
+		}
+		s.pathV = append(s.pathV[:0], u)
+		return 0, s.pathV, nil
+	}
+	if g.Weighted() {
+		s.dijkstra(g, u, v)
+		if d := s.WeightTo(v); !math.IsInf(d, 1) {
+			pv, pe, _ := s.PathTo(v)
+			return d, pv, pe
+		}
+		return Inf, nil, nil
+	}
+	s.bfs(g, u, math.MaxInt, v)
+	if d := s.HopDistTo(v); d != Unreachable {
+		pv, pe, _ := s.PathTo(v)
+		return float64(d), pv, pe
+	}
+	return Inf, nil, nil
 }
 
 // Dijkstra computes weighted shortest-path distances from src in g minus

@@ -1,0 +1,103 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"ftspanner/internal/graph"
+	"ftspanner/internal/sp"
+)
+
+// ServedAnswer is one distance/path answer as handed to a client by a
+// query-serving layer (internal/oracle), bundled for CheckServedAnswer.
+type ServedAnswer struct {
+	U, V int
+	// Dist is the claimed d_{H\F}(U, V): +Inf claims disconnection.
+	Dist float64
+	// Path is the claimed realizing vertex sequence (nil when Dist is +Inf).
+	Path []int
+	// FaultVertices and FaultEdges describe the fault set F the answer was
+	// computed under: failed vertex IDs, and failed edges as endpoint pairs
+	// (pairs not present in h are ignored — failing an absent edge is a
+	// no-op).
+	FaultVertices []int
+	FaultEdges    [][2]int
+}
+
+// CheckServedAnswer re-derives a served answer against the spanner snapshot
+// h it was (claimed to be) computed on and returns an error describing the
+// first discrepancy: a distance that does not equal a fresh shortest-path
+// run on h minus the fault set, a path that does not start at U and end at
+// V, walks a non-edge of h, visits a failed element, or whose weight does
+// not equal the claimed distance. This is the trust-but-verify half of the
+// serving stack: the oracle's concurrency tests call it on every answer
+// returned under churn.
+func CheckServedAnswer(h *graph.Graph, a ServedAnswer) error {
+	if h == nil {
+		return fmt.Errorf("verify: nil snapshot")
+	}
+	n := h.N()
+	if a.U < 0 || a.U >= n || a.V < 0 || a.V >= n {
+		return fmt.Errorf("verify: served pair {%d,%d} out of range [0,%d)", a.U, a.V, n)
+	}
+	s := sp.NewSearcher(n, h.EdgeIDLimit())
+	blockedV := make(map[int]bool, len(a.FaultVertices))
+	for _, f := range a.FaultVertices {
+		if f < 0 || f >= n {
+			return fmt.Errorf("verify: served fault vertex %d out of range [0,%d)", f, n)
+		}
+		s.BlockVertex(f)
+		blockedV[f] = true
+	}
+	blockedE := make(map[[2]int]bool, len(a.FaultEdges))
+	for _, p := range a.FaultEdges {
+		u, v := p[0], p[1]
+		if u > v {
+			u, v = v, u
+		}
+		blockedE[[2]int{u, v}] = true
+		if id, ok := h.EdgeBetween(u, v); ok {
+			s.BlockEdge(id)
+		}
+	}
+
+	want := s.Dist(h, a.U, a.V)
+	if want != a.Dist && !(math.IsInf(want, 1) && math.IsInf(a.Dist, 1)) {
+		return fmt.Errorf("verify: served d(%d,%d)=%v, fresh shortest path says %v", a.U, a.V, a.Dist, want)
+	}
+	if math.IsInf(a.Dist, 1) {
+		if len(a.Path) != 0 {
+			return fmt.Errorf("verify: served +Inf distance with a non-empty path %v", a.Path)
+		}
+		return nil
+	}
+	if len(a.Path) == 0 || a.Path[0] != a.U || a.Path[len(a.Path)-1] != a.V {
+		return fmt.Errorf("verify: served path %v does not run %d..%d", a.Path, a.U, a.V)
+	}
+	var sum float64
+	for i, x := range a.Path {
+		if blockedV[x] {
+			return fmt.Errorf("verify: served path visits failed vertex %d", x)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := a.Path[i-1]
+		id, ok := h.EdgeBetween(prev, x)
+		if !ok {
+			return fmt.Errorf("verify: served path step %d->%d is not an edge of the snapshot", prev, x)
+		}
+		pu, pv := prev, x
+		if pu > pv {
+			pu, pv = pv, pu
+		}
+		if blockedE[[2]int{pu, pv}] {
+			return fmt.Errorf("verify: served path uses failed edge {%d,%d}", pu, pv)
+		}
+		sum += h.Weight(id)
+	}
+	if sum != a.Dist {
+		return fmt.Errorf("verify: served path weighs %v but claimed distance is %v", sum, a.Dist)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/sp"
+)
+
+func TestCheckServedAnswerAcceptsFreshAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := gen.GNP(rng, 40, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sp.NewSearcher(g.N(), g.EdgeIDLimit())
+	for trial := 0; trial < 100; trial++ {
+		u, v := rng.Intn(40), rng.Intn(40)
+		var faults []int
+		s.ResetBlocked()
+		for i := 0; i < rng.Intn(3); i++ {
+			f := rng.Intn(40)
+			if f == u || f == v {
+				continue
+			}
+			faults = append(faults, f)
+			s.BlockVertex(f)
+		}
+		d, pv, _ := s.DistPath(g, u, v)
+		a := ServedAnswer{U: u, V: v, Dist: d, FaultVertices: faults}
+		if !math.IsInf(d, 1) {
+			a.Path = append([]int(nil), pv...)
+		}
+		if err := CheckServedAnswer(g, a); err != nil {
+			t.Fatalf("trial %d: genuine answer rejected: %v", trial, err)
+		}
+	}
+}
+
+func TestCheckServedAnswerRejectsLies(t *testing.T) {
+	g := graph.New(5)
+	// Path graph 0-1-2-3-4 plus a chord 0-4.
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.MustAddEdge(0, 4)
+
+	cases := []struct {
+		name string
+		a    ServedAnswer
+	}{
+		{"wrong distance", ServedAnswer{U: 0, V: 4, Dist: 2, Path: []int{0, 4, 4}}},
+		{"path through non-edge", ServedAnswer{U: 0, V: 2, Dist: 2, Path: []int{0, 3, 2}}},
+		{"path ignores failed vertex", ServedAnswer{U: 0, V: 2, Dist: 2, Path: []int{0, 1, 2}, FaultVertices: []int{1}}},
+		{"path uses failed edge", ServedAnswer{U: 0, V: 4, Dist: 1, Path: []int{0, 4}, FaultEdges: [][2]int{{4, 0}}}},
+		{"claimed disconnection", ServedAnswer{U: 0, V: 4, Dist: math.Inf(1)}},
+		{"weight mismatch", ServedAnswer{U: 0, V: 4, Dist: 3, Path: []int{0, 4}}},
+		{"endpoint mismatch", ServedAnswer{U: 0, V: 4, Dist: 1, Path: []int{0, 1}}},
+		{"out of range", ServedAnswer{U: 0, V: 9, Dist: 1}},
+	}
+	for _, tc := range cases {
+		if err := CheckServedAnswer(g, tc.a); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// Failing an edge absent from the snapshot is a no-op, and a correct +Inf
+// under real disconnection is accepted.
+func TestCheckServedAnswerDisconnection(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	ok := ServedAnswer{U: 0, V: 2, Dist: math.Inf(1), FaultEdges: [][2]int{{1, 2}}}
+	if err := CheckServedAnswer(g, ok); err != nil {
+		t.Fatalf("genuine disconnection rejected: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package ftspanner_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ftspanner"
+)
+
+// The facade wiring: NewOracle honors Options (mode normalization, cache
+// capacity), and served answers respect the stretch bound of the options.
+func TestNewOracleFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := ftspanner.RandomConnectedGraph(rng, 80, 0.12, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ftspanner.Options{K: 2, F: 2} // zero Mode must mean VertexFaults
+	o, err := ftspanner.NewOracle(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stretch() != opts.Stretch() {
+		t.Fatalf("oracle stretch %d, options say %d", o.Stretch(), opts.Stretch())
+	}
+	for trial := 0; trial < 50; trial++ {
+		u, v := rng.Intn(80), rng.Intn(80)
+		faults := []int{rng.Intn(80), rng.Intn(80)}
+		res, err := o.Query(u, v, ftspanner.QueryOptions{FaultVertices: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(res.Distance, 1) {
+			continue
+		}
+		if len(res.Path) == 0 || res.Path[0] != u || res.Path[len(res.Path)-1] != v {
+			t.Fatalf("trial %d: path %v does not run %d..%d", trial, res.Path, u, v)
+		}
+	}
+	st := o.Stats()
+	if st.Queries != 50 || st.Mode != "vertex" {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// The re-exported query-workload generators keep the internal generators'
+// seed determinism.
+func TestQueryWorkloadFacadeDeterminism(t *testing.T) {
+	mk := func() ([]ftspanner.QueryPair, []ftspanner.QueryPair, [][]int) {
+		rng := rand.New(rand.NewSource(77))
+		u, err := ftspanner.UniformQueryPairs(rng, 50, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := ftspanner.ZipfQueryPairs(rng, 50, 200, 16, 1.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ftspanner.FaultBurstSchedule(rng, 50, 3, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u, z, f
+	}
+	u1, z1, f1 := mk()
+	u2, z2, f2 := mk()
+	if !reflect.DeepEqual(u1, u2) || !reflect.DeepEqual(z1, z2) || !reflect.DeepEqual(f1, f2) {
+		t.Fatal("re-exported workload generators are not seed-deterministic")
+	}
+}

@@ -50,3 +50,30 @@ func PreferentialAttachmentGraph(rng *rand.Rand, n, attach int) (*Graph, error) 
 func UniformWeights(rng *rand.Rand, g *Graph, lo, hi float64) (*Graph, error) {
 	return gen.UniformWeights(rng, g, lo, hi)
 }
+
+// QueryPair is one endpoint pair of a query workload (see UniformQueryPairs
+// and ZipfQueryPairs).
+type QueryPair = gen.Pair
+
+// UniformQueryPairs returns count independent uniform query pairs on
+// [0, n) — the cache-hostile serving workload. Deterministic in rng: the
+// same seed replays the same workload, so cmd/ftserve load runs and the
+// bench harness share one source.
+func UniformQueryPairs(rng *rand.Rand, n, count int) ([]QueryPair, error) {
+	return gen.UniformPairs(rng, n, count)
+}
+
+// ZipfQueryPairs returns count query pairs drawn with Zipf(s) skew (s > 1)
+// from a pool of `pool` distinct uniform pairs — the cache-friendly serving
+// workload, where a few hot pairs receive most of the traffic.
+// Deterministic in rng.
+func ZipfQueryPairs(rng *rand.Rand, n, count, pool int, s float64) ([]QueryPair, error) {
+	return gen.ZipfPairs(rng, n, count, pool, s)
+}
+
+// FaultBurstSchedule returns `bursts` fault sets over the ID space
+// [0, limit), each of 1 to f distinct IDs — correlated-failure bursts for
+// replaying against Oracle.Query. Deterministic in rng.
+func FaultBurstSchedule(rng *rand.Rand, limit, f, bursts int) ([][]int, error) {
+	return gen.FaultBursts(rng, limit, f, bursts)
+}
