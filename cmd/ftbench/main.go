@@ -139,6 +139,18 @@ func runJSON(cfg bench.Config, out string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "serve %-8s n=%d %d clients: %8.0f qps, p50 %6.0f ns, p99 %8.0f ns, hit %4.1f%%, hot %5.0f ns vs cold %7.0f ns (%.1fx)\n",
 			s.Workload, s.N, s.Clients, s.QPS, s.P50Ns, s.P99Ns, 100*s.CacheHitRate, s.HotNsPerOp, s.ColdNsPerOp, s.HotSpeedup)
 	}
+	for _, sc := range res.Scale {
+		fmt.Fprintf(stdout, "scale %-9s n=%-8d gen %8.0f us, csr %8.0f us (%d MB), ingest %8.0f us",
+			sc.Workload, sc.N, sc.GenNs/1e3, sc.CSRBuildNs/1e3, sc.CSRBytes>>20, sc.StreamIngestNs/1e3)
+		if sc.SpannerEdges > 0 {
+			fmt.Fprintf(stdout, ", build %8.0f us", sc.SpannerBuildNs/1e3)
+		}
+		if sc.Queries > 0 {
+			fmt.Fprintf(stdout, ", bounded q %6.0f ns vs full %10.0f ns (%.0fx)",
+				sc.QueryBoundedCSRNs, sc.QueryFullSliceNs, sc.QuerySpeedup)
+		}
+		fmt.Fprintln(stdout)
+	}
 	fmt.Fprintf(stdout, "wrote %s (%.1fs)\n", path, res.ElapsedSec)
 	return nil
 }

@@ -8,6 +8,8 @@
 //	gengraph -type grid -rows 16 -cols 16
 //	gengraph -type hypercube -dim 8
 //	gengraph -type ba -n 512 -attach 4
+//	gengraph -type lattice -rows 1000 -cols 1000 -shortcuts 50000
+//	gengraph -type powerlaw -n 1000000 -avgdeg 8 -exponent 2.5
 package main
 
 import (
@@ -34,7 +36,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
 	var (
-		typ     = fs.String("type", "gnp", "gnp | gnm | geometric | grid | torus | hypercube | complete | ba | regular | ws | tree | path | cycle | star")
+		typ     = fs.String("type", "gnp", "gnp | gnm | geometric | grid | torus | hypercube | complete | ba | regular | ws | tree | path | cycle | star | lattice | powerlaw")
 		n       = fs.Int("n", 128, "vertex count (where applicable)")
 		m       = fs.Int("m", 512, "edge count (gnm)")
 		p       = fs.Float64("p", 0.05, "edge probability (gnp) / rewire probability (ws)")
@@ -44,6 +46,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dim     = fs.Int("dim", 6, "hypercube dimension")
 		attach  = fs.Int("attach", 3, "edges per new vertex (ba)")
 		degree  = fs.Int("degree", 4, "degree (regular) / lattice neighbors per side (ws)")
+		cuts    = fs.Int("shortcuts", 0, "long-range shortcut edges (lattice)")
+		avgdeg  = fs.Float64("avgdeg", 8, "expected average degree (powerlaw)")
+		expo    = fs.Float64("exponent", 2.5, "degree-distribution exponent > 2 (powerlaw)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		weights = fs.String("weights", "", "assign uniform weights, e.g. 1,10 for U[1,10)")
 	)
@@ -85,6 +90,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		g, err = gen.Cycle(*n)
 	case "star":
 		g = gen.Star(*n)
+	case "lattice":
+		g, err = gen.Lattice(rng, *rows, *cols, *cuts, true)
+	case "powerlaw":
+		g, err = gen.PowerLaw(rng, *n, *avgdeg, *expo)
 	default:
 		return fmt.Errorf("unknown -type %q", *typ)
 	}

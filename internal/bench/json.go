@@ -41,6 +41,10 @@ type CoreBench struct {
 	// against the concurrent oracle under interleaved churn (see
 	// ServePoint).
 	Serve []ServePoint `json:"serve"`
+	// Scale is the million-node series: the pipeline (generate, CSR
+	// snapshot, streaming IO, spanner build, repair, query variants)
+	// measured stage by stage at n = 10⁴..10⁶ (see ScalePoint).
+	Scale []ScalePoint `json:"scale"`
 }
 
 // BenchPoint is one measured hot path.
@@ -227,6 +231,13 @@ func RunCoreBench(cfg Config) (*CoreBench, error) {
 		return nil, err
 	}
 	out.Serve = serve
+
+	// Million-node scaling: the pipeline stage by stage per size point.
+	scale, err := runScaleBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Scale = scale
 
 	out.ElapsedSec = time.Since(start).Seconds()
 	return out, nil

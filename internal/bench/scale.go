@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+	"unsafe"
+
+	"ftspanner/internal/core"
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
+)
+
+// ScalePoint is one size point of the BENCH_scale series: the million-node
+// pipeline measured stage by stage on one generated workload. The stages
+// are generation, CSR snapshotting, streaming IO round-trip, spanner
+// construction, batched repair, and the query variants on the spanner —
+// larger points drop the stages that stop being practical (zeros mark the
+// skipped ones; Queries == 0 means the whole query block was skipped).
+//
+// The query block contrasts serving styles, not identical workloads:
+// full_slice and bidi run global random pairs (typical distance ~ the
+// graph diameter), bounded runs radius-capped local pairs — the workload a
+// MaxDistance-capped oracle serves. The headline speedup divides
+// full-slice global cost by bounded-CSR local cost: it is the factor a
+// serving layer gains by bounding the radius AND flattening the adjacency.
+type ScalePoint struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	K        int    `json:"k"`
+	F        int    `json:"f"`
+
+	GenNs          float64 `json:"gen_ns"`
+	CSRBuildNs     float64 `json:"csr_build_ns"`
+	CSRBytes       int64   `json:"csr_bytes"`
+	StreamWriteNs  float64 `json:"stream_write_ns"`
+	StreamIngestNs float64 `json:"stream_ingest_ns"`
+	StreamBytes    int     `json:"stream_bytes"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+
+	SpannerBuildNs   float64 `json:"spanner_build_ns"`
+	SpannerEdges     int     `json:"spanner_edges"`
+	RepairBatches    int     `json:"repair_batches"`
+	RepairNsPerBatch float64 `json:"repair_ns_per_batch"`
+
+	Queries           int     `json:"queries"`
+	Radius            float64 `json:"radius"`
+	QueryFullSliceNs  float64 `json:"query_full_slice_ns"`
+	QueryFullCSRNs    float64 `json:"query_full_csr_ns"`
+	QueryBidiCSRNs    float64 `json:"query_bidi_csr_ns"`
+	QueryBoundedCSRNs float64 `json:"query_bounded_csr_ns"`
+	QuerySpeedup      float64 `json:"query_speedup_bounded_vs_full_slice"`
+}
+
+// csrBytes is the flat-array footprint of a CSR snapshot, computed from the
+// slice lengths (deterministic, unlike heap sampling).
+func csrBytes(c *graph.CSR) int64 {
+	halfEdgeBytes := int64(unsafe.Sizeof(graph.HalfEdge{}))
+	edgeBytes := int64(unsafe.Sizeof(graph.Edge{}))
+	offsetBytes := int64(unsafe.Sizeof(int(0)))
+	return int64(c.N()+1)*offsetBytes + 2*int64(c.M())*halfEdgeBytes + int64(c.EdgeIDLimit())*edgeBytes
+}
+
+// scaleLatticeSide picks rows = cols so that n = side².
+func scaleLatticeSide(n int) int {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return side
+}
+
+// runScaleLattice measures every pipeline stage on a side×side weighted
+// lattice with n/20 shortcuts. withSpanner gates the spanner build and the
+// query block; withRepair additionally gates the dynamic-maintenance stage
+// (which rebuilds internally, doubling the build cost).
+func runScaleLattice(seed int64, n int, withSpanner, withRepair bool) (ScalePoint, error) {
+	const k, f = 2, 1
+	side := scaleLatticeSide(n)
+	pt := ScalePoint{Workload: "lattice", K: k, F: f}
+	rng := rand.New(rand.NewSource(seed))
+
+	start := time.Now()
+	g, err := gen.Lattice(rng, side, side, side*side/20, true)
+	if err != nil {
+		return pt, err
+	}
+	pt.GenNs = float64(time.Since(start).Nanoseconds())
+	pt.N, pt.M = g.N(), g.M()
+
+	start = time.Now()
+	csr := graph.BuildCSR(g)
+	pt.CSRBuildNs = float64(time.Since(start).Nanoseconds())
+	pt.CSRBytes = csrBytes(csr)
+
+	var buf bytes.Buffer
+	start = time.Now()
+	if err := graph.Write(&buf, csr); err != nil {
+		return pt, err
+	}
+	pt.StreamWriteNs = float64(time.Since(start).Nanoseconds())
+	pt.StreamBytes = buf.Len()
+	start = time.Now()
+	ingested, err := graph.ReadCSR(&buf)
+	if err != nil {
+		return pt, err
+	}
+	pt.StreamIngestNs = float64(time.Since(start).Nanoseconds())
+	if ingested.M() != g.M() {
+		return pt, fmt.Errorf("bench: scale ingest lost edges: %d != %d", ingested.M(), g.M())
+	}
+
+	if !withSpanner {
+		pt.PeakHeapBytes = liveHeapBytes()
+		// Keep the pipeline's products alive past the heap measurement,
+		// or the GC drops them first and the number is meaningless.
+		runtime.KeepAlive(g)
+		runtime.KeepAlive(csr)
+		runtime.KeepAlive(ingested)
+		return pt, nil
+	}
+
+	start = time.Now()
+	h, _, err := core.ModifiedGreedy(csr, k, f, lbc.Vertex)
+	if err != nil {
+		return pt, err
+	}
+	pt.SpannerBuildNs = float64(time.Since(start).Nanoseconds())
+	pt.SpannerEdges = h.M()
+
+	if withRepair {
+		m, err := dynamic.New(g, dynamic.Config{K: k, F: f})
+		if err != nil {
+			return pt, err
+		}
+		pt.RepairBatches = 4
+		start = time.Now()
+		for b := 0; b < pt.RepairBatches; b++ {
+			var batch dynamic.Batch
+			for len(batch.Insert) < 8 {
+				u, v := rng.Intn(pt.N), rng.Intn(pt.N)
+				if u != v && !m.Graph().HasEdge(u, v) {
+					batch.Insert = append(batch.Insert, dynamic.Update{U: u, V: v, W: 1 + rng.Float64()})
+				}
+			}
+			edges := m.Graph().EdgeIDs()
+			for i := 0; i < 8; i++ {
+				e := m.Graph().Edge(edges[rng.Intn(len(edges))])
+				batch.Delete = append(batch.Delete, dynamic.Update{U: e.U, V: e.V})
+			}
+			if err := m.ApplyBatch(batch); err != nil {
+				return pt, err
+			}
+		}
+		pt.RepairNsPerBatch = float64(time.Since(start).Nanoseconds()) / float64(pt.RepairBatches)
+	}
+
+	// Query block on the spanner. Global pairs for the full variants, local
+	// pairs (grid offset ≤ 5 in each axis, so d_G ≤ 20 and stretch-3 spanner
+	// distance ≤ 60) for the bounded variant.
+	hCSR := graph.BuildCSR(h)
+	s := sp.NewSearcher(hCSR.N(), hCSR.EdgeIDLimit())
+	pt.Radius = 60
+	fullReps := 3
+	if n <= 10_000 {
+		fullReps = 50
+	} else if n <= 100_000 {
+		fullReps = 10
+	}
+	boundedReps := 200
+	pt.Queries = fullReps + boundedReps
+
+	globalPairs := func(r *rand.Rand) (int, int) { return r.Intn(pt.N), r.Intn(pt.N) }
+	localPairs := func(r *rand.Rand) (int, int) {
+		row, col := r.Intn(side-5), r.Intn(side-5)
+		return row*side + col, (row+r.Intn(6))*side + col + r.Intn(6)
+	}
+	timeQueries := func(reps int, pairs func(*rand.Rand) (int, int), q func(u, v int)) float64 {
+		r := rand.New(rand.NewSource(seed + 7))
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			u, v := pairs(r)
+			q(u, v)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(reps)
+	}
+	pt.QueryFullSliceNs = timeQueries(fullReps, globalPairs, func(u, v int) { s.Dist(h, u, v) })
+	pt.QueryFullCSRNs = timeQueries(fullReps, globalPairs, func(u, v int) { s.Dist(hCSR, u, v) })
+	pt.QueryBidiCSRNs = timeQueries(fullReps, globalPairs, func(u, v int) { s.DistBidi(hCSR, u, v) })
+	pt.QueryBoundedCSRNs = timeQueries(boundedReps, localPairs, func(u, v int) { s.DistWithin(hCSR, u, v, pt.Radius) })
+	pt.QuerySpeedup = pt.QueryFullSliceNs / pt.QueryBoundedCSRNs
+
+	pt.PeakHeapBytes = liveHeapBytes()
+	runtime.KeepAlive(g)
+	runtime.KeepAlive(csr)
+	runtime.KeepAlive(ingested)
+	runtime.KeepAlive(h)
+	runtime.KeepAlive(hCSR)
+	return pt, nil
+}
+
+// runScalePowerLaw measures the build pipeline (generation, CSR, streaming
+// round-trip) on a Chung–Lu power-law graph; the spanner stages are lattice
+// territory, so this point pins the generator and IO scaling on a
+// heavy-tailed degree sequence instead.
+func runScalePowerLaw(seed int64, n int) (ScalePoint, error) {
+	pt := ScalePoint{Workload: "powerlaw", K: 2, F: 1}
+	rng := rand.New(rand.NewSource(seed))
+
+	start := time.Now()
+	g, err := gen.PowerLaw(rng, n, 8, 2.5)
+	if err != nil {
+		return pt, err
+	}
+	pt.GenNs = float64(time.Since(start).Nanoseconds())
+	pt.N, pt.M = g.N(), g.M()
+
+	start = time.Now()
+	csr := graph.BuildCSR(g)
+	pt.CSRBuildNs = float64(time.Since(start).Nanoseconds())
+	pt.CSRBytes = csrBytes(csr)
+
+	var buf bytes.Buffer
+	start = time.Now()
+	if err := graph.Write(&buf, csr); err != nil {
+		return pt, err
+	}
+	pt.StreamWriteNs = float64(time.Since(start).Nanoseconds())
+	pt.StreamBytes = buf.Len()
+	start = time.Now()
+	ingested, err := graph.ReadCSR(&buf)
+	if err != nil {
+		return pt, err
+	}
+	pt.StreamIngestNs = float64(time.Since(start).Nanoseconds())
+	if ingested.M() != g.M() {
+		return pt, fmt.Errorf("bench: scale ingest lost edges: %d != %d", ingested.M(), g.M())
+	}
+	pt.PeakHeapBytes = liveHeapBytes()
+	runtime.KeepAlive(g)
+	runtime.KeepAlive(csr)
+	runtime.KeepAlive(ingested)
+	return pt, nil
+}
+
+// liveHeapBytes reports the post-GC live heap — "peak" in the sense of
+// everything the point's pipeline keeps alive at its end (graph + CSR +
+// spanner + scratch), which is the number capacity planning needs.
+func liveHeapBytes() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// runScaleBench produces the BENCH_scale series. Quick (CI) keeps the 10⁴
+// points; the full run adds 10⁵ with repair and 10⁶ with build-and-ingest
+// plus spanner construction (repair at 10⁶ would double the multi-second
+// build for one number and is left to the dedicated churn series).
+func runScaleBench(cfg Config) ([]ScalePoint, error) {
+	type job struct {
+		n                       int
+		withSpanner, withRepair bool
+	}
+	jobs := []job{{10_000, true, true}}
+	plSizes := []int{10_000}
+	if !cfg.Quick {
+		jobs = append(jobs, job{100_000, true, true}, job{1_000_000, true, false})
+		plSizes = append(plSizes, 100_000, 1_000_000)
+	}
+	var out []ScalePoint
+	for _, j := range jobs {
+		pt, err := runScaleLattice(cfg.Seed+300, j.n, j.withSpanner, j.withRepair)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	for _, n := range plSizes {
+		pt, err := runScalePowerLaw(cfg.Seed+301, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -58,7 +58,7 @@ type EdgeDecision struct {
 // A nil s allocates a fresh searcher. Unlike the plain build, the trace
 // retains copies of every cut and witness, so this allocates O(total
 // certificate size) on top of the spanner itself.
-func ModifiedGreedyTraced(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, []EdgeDecision, Stats, error) {
+func ModifiedGreedyTraced(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode) (*graph.Graph, []EdgeDecision, Stats, error) {
 	var stats Stats
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, nil, stats, err
@@ -69,7 +69,7 @@ func ModifiedGreedyTraced(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mod
 		s.Grow(g.N(), g.EdgeIDLimit())
 	}
 	t := Stretch(k)
-	h := g.EmptyLike()
+	h := graph.NewLike(g)
 	order := considerationOrder(g)
 	decisions := make([]EdgeDecision, 0, len(order))
 	for _, id := range order {
@@ -99,7 +99,7 @@ func ModifiedGreedyTraced(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mod
 // that additionally returns one Certificate per spanner edge, for auditing
 // the Lemma 6 blocking-set construction. It is the added-edges projection
 // of ModifiedGreedyTraced.
-func ModifiedGreedyWithCertificates(g *graph.Graph, k, f int) (*graph.Graph, []Certificate, Stats, error) {
+func ModifiedGreedyWithCertificates(g graph.View, k, f int) (*graph.Graph, []Certificate, Stats, error) {
 	h, decisions, stats, err := ModifiedGreedyTraced(nil, g, k, f, lbc.Vertex)
 	if err != nil {
 		return nil, nil, stats, err

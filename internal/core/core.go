@@ -49,7 +49,7 @@ type Stats struct {
 	FaultSetsTried int64
 }
 
-func validateParams(g *graph.Graph, k, f int, mode lbc.Mode) error {
+func validateParams(g graph.View, k, f int, mode lbc.Mode) error {
 	if g == nil {
 		return fmt.Errorf("core: nil graph")
 	}
@@ -72,7 +72,7 @@ func validateParams(g *graph.Graph, k, f int, mode lbc.Mode) error {
 // graphs it is Algorithm 4 (nondecreasing weight order). f = 0 degenerates to
 // a non-fault-tolerant (2k-1)-spanner (the hop-based variant of the classic
 // greedy).
-func ModifiedGreedy(g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stats, error) {
+func ModifiedGreedy(g graph.View, k, f int, mode lbc.Mode) (*graph.Graph, Stats, error) {
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, Stats{}, err
 	}
@@ -86,7 +86,7 @@ func ModifiedGreedy(g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stat
 // graphs holds only for nondecreasing weight orders (Theorem 10) — passing
 // another order on a weighted graph is exactly the E13 ablation and may
 // violate the stretch guarantee.
-func ModifiedGreedyWithOrder(g *graph.Graph, k, f int, mode lbc.Mode, order []int) (*graph.Graph, Stats, error) {
+func ModifiedGreedyWithOrder(g graph.View, k, f int, mode lbc.Mode, order []int) (*graph.Graph, Stats, error) {
 	return modifiedGreedy(nil, g, k, f, mode, order)
 }
 
@@ -95,14 +95,14 @@ func ModifiedGreedyWithOrder(g *graph.Graph, k, f int, mode lbc.Mode, order []in
 // spanners with one searcher). A nil s allocates a fresh searcher. The hot
 // loop — one lbc.DecideWith per input edge — performs no per-edge heap
 // allocation beyond the growth of the output spanner itself.
-func ModifiedGreedyWith(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stats, error) {
+func ModifiedGreedyWith(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode) (*graph.Graph, Stats, error) {
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, Stats{}, err
 	}
 	return modifiedGreedy(s, g, k, f, mode, considerationOrder(g))
 }
 
-func modifiedGreedy(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode, order []int) (*graph.Graph, Stats, error) {
+func modifiedGreedy(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode, order []int) (*graph.Graph, Stats, error) {
 	var stats Stats
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, stats, err
@@ -116,7 +116,7 @@ func modifiedGreedy(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode, ord
 		s.Grow(g.N(), g.M())
 	}
 	t := Stretch(k)
-	h := g.EmptyLike()
+	h := graph.NewLike(g)
 	for _, id := range order {
 		e := g.Edge(id)
 		stats.EdgesConsidered++
@@ -141,7 +141,7 @@ func modifiedGreedy(s *sp.Searcher, g *graph.Graph, k, f int, mode lbc.Mode, ord
 // edge sets), so this is only feasible for small instances; it exists as the
 // size-optimal baseline for experiment E3. Distances are weighted on
 // weighted graphs (Dijkstra) and hop counts otherwise (BFS).
-func ExactGreedy(g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stats, error) {
+func ExactGreedy(g graph.View, k, f int, mode lbc.Mode) (*graph.Graph, Stats, error) {
 	return ExactGreedyParallel(g, k, f, mode, 1)
 }
 
@@ -152,14 +152,14 @@ func ExactGreedy(g *graph.Graph, k, f int, mode lbc.Mode) (*graph.Graph, Stats, 
 // test is a pure existence query over an enumeration space, so sharding it
 // is safe: the constructed spanner is byte-identical to the sequential one
 // for every worker count. Only Stats.FaultSetsTried may differ (see Stats).
-func ExactGreedyParallel(g *graph.Graph, k, f int, mode lbc.Mode, workers int) (*graph.Graph, Stats, error) {
+func ExactGreedyParallel(g graph.View, k, f int, mode lbc.Mode, workers int) (*graph.Graph, Stats, error) {
 	var stats Stats
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, stats, err
 	}
 	workers = sp.Workers(workers)
 	t := Stretch(k)
-	h := g.EmptyLike()
+	h := graph.NewLike(g)
 	order := considerationOrder(g)
 	// One searcher per worker, reused across every edge of the build.
 	searchers := make([]*sp.Searcher, workers)
@@ -308,7 +308,7 @@ func existsFaultSetExceedingParallel(searchers []*sp.Searcher, h *graph.Graph, u
 // considerationOrder is the canonical greedy order: ascending live edge ID
 // (insertion order) on unweighted graphs, nondecreasing weight on weighted
 // graphs. Both skip the dead edge-ID slots left by graph.RemoveEdge.
-func considerationOrder(g *graph.Graph) []int {
+func considerationOrder(g graph.View) []int {
 	if g.Weighted() {
 		return g.EdgeIDsByWeight()
 	}
@@ -316,7 +316,7 @@ func considerationOrder(g *graph.Graph) []int {
 }
 
 // checkOrder validates that order is a permutation of the live edge IDs of g.
-func checkOrder(g *graph.Graph, order []int) error {
+func checkOrder(g graph.View, order []int) error {
 	if len(order) != g.M() {
 		return fmt.Errorf("core: order has %d entries, want %d", len(order), g.M())
 	}

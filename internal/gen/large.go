@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftspanner/internal/graph"
+)
+
+// Large-graph generators: families built for the million-node tier, where
+// the constraints are O(n+m) time and memory (no quadratic candidate scans,
+// no rejection loops over dense neighborhoods) and a bounded average degree,
+// so the spanner pipeline downstream of them stays near-linear too.
+
+// Lattice returns a road-network-like graph: a rows×cols grid (vertex
+// (r, c) has ID r*cols + c, matching Grid) with unit-ish local streets plus
+// `shortcuts` random long-range links — the highway edges that give real
+// road networks their small diameter without changing the bounded local
+// degree. If weighted, grid edges get weight uniform in [1, 2) and each
+// shortcut weighs roughly half its Manhattan distance (0.5–1.0×), so
+// shortcuts are genuinely worth taking and shortest paths mix street and
+// highway hops the way road trips do. Unweighted lattices keep everything
+// at weight 1.
+//
+// Duplicate shortcut candidates are skipped, so the result can have slightly
+// fewer than rows*cols-ish + shortcuts edges. Cost is O(n + m).
+func Lattice(rng *rand.Rand, rows, cols, shortcuts int, weighted bool) (*graph.Graph, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("gen: Lattice needs rows, cols >= 0, got %d×%d", rows, cols)
+	}
+	if shortcuts < 0 {
+		return nil, fmt.Errorf("gen: Lattice needs shortcuts >= 0, got %d", shortcuts)
+	}
+	n := rows * cols
+	var g *graph.Graph
+	if weighted {
+		g = graph.NewWeighted(n)
+	} else {
+		g = graph.New(n)
+	}
+	street := func() float64 {
+		if !weighted {
+			return 1
+		}
+		return 1 + rng.Float64()
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				g.MustAddEdgeW(u, u+1, street())
+			}
+			if r+1 < rows {
+				g.MustAddEdgeW(u, u+cols, street())
+			}
+		}
+	}
+	if n < 2 {
+		return g, nil
+	}
+	for i := 0; i < shortcuts; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue // skip, don't retry: keeps the loop O(shortcuts)
+		}
+		w := 1.0
+		if weighted {
+			ru, cu := u/cols, u%cols
+			rv, cv := v/cols, v%cols
+			manhattan := math.Abs(float64(ru-rv)) + math.Abs(float64(cu-cv))
+			if manhattan < 1 {
+				manhattan = 1
+			}
+			// Streets weigh at least 1 per hop, so 0.5–1.0× the Manhattan
+			// hop count is always at least as cheap as any street route.
+			w = (0.5 + 0.5*rng.Float64()) * manhattan
+		}
+		g.MustAddEdgeW(u, v, w)
+	}
+	return g, nil
+}
+
+// PowerLaw returns a Chung–Lu random graph with expected degree sequence
+// w_i ∝ (i+1)^(-1/(exponent-1)) scaled to the requested average degree —
+// the expected-degree model whose degree distribution follows a power law
+// with the given exponent (> 2, so the mean is finite). Edge {i, j} (i < j)
+// appears independently with probability min(1, w_i·w_j / Σw).
+//
+// Enumeration uses the Miller–Hagberg skip-sampling construction: for each
+// row i the candidates j > i are walked with geometric skips at the row's
+// maximum probability p = w_i·w_{i+1}/Σw and kept with probability q/p,
+// which preserves the exact per-edge probabilities while doing O(n + m)
+// work in total. The result is unweighted (degree structure is the point;
+// weight it downstream if needed).
+func PowerLaw(rng *rand.Rand, n int, avgDeg, exponent float64) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gen: PowerLaw needs n >= 0, got %d", n)
+	}
+	if avgDeg < 0 || math.IsNaN(avgDeg) || math.IsInf(avgDeg, 0) {
+		return nil, fmt.Errorf("gen: PowerLaw needs avgDeg >= 0, got %v", avgDeg)
+	}
+	if exponent <= 2 || math.IsNaN(exponent) || math.IsInf(exponent, 0) {
+		return nil, fmt.Errorf("gen: PowerLaw needs exponent > 2, got %v", exponent)
+	}
+	g := graph.New(n)
+	if n < 2 || avgDeg == 0 {
+		return g, nil
+	}
+	// Target weights before scaling: (i+1)^(-1/(exponent-1)), the standard
+	// Chung–Lu sequence whose realized degrees follow the power law.
+	w := make([]float64, n)
+	var sum float64
+	gamma := -1 / (exponent - 1)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), gamma)
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	sum = avgDeg * float64(n)
+
+	// Miller–Hagberg: weights are nonincreasing in i, so within row i the
+	// candidate probabilities q_j = min(1, w_i*w_j/sum) are nonincreasing in
+	// j. Walk j with geometric skips at the current cap p, accept with q/p,
+	// then lower the cap to q (q_j only decreases). Expected work per row is
+	// O(1 + edges in row + number of cap drops), O(n + m) overall.
+	for i := 0; i < n-1; i++ {
+		j := i + 1
+		p := w[i] * w[j] / sum
+		if p > 1 {
+			p = 1
+		}
+		for j < n && p > 0 {
+			if p < 1 {
+				skip := math.Floor(math.Log(1-rng.Float64()) / math.Log1p(-p))
+				if skip >= float64(n) { // also catches +Inf from tiny p
+					break
+				}
+				j += int(skip)
+			}
+			if j >= n {
+				break
+			}
+			q := w[i] * w[j] / sum
+			if q > 1 {
+				q = 1
+			}
+			if rng.Float64() < q/p {
+				g.MustAddEdge(i, j)
+			}
+			p = q
+			j++
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,238 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftspanner/internal/graph"
+)
+
+func TestLatticeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows, cols, shortcuts := 20, 30, 120
+	g, err := Lattice(rng, rows, cols, shortcuts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rows * cols
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	gridEdges := rows*(cols-1) + cols*(rows-1)
+	if g.M() < gridEdges || g.M() > gridEdges+shortcuts {
+		t.Fatalf("M = %d, want in [%d, %d]", g.M(), gridEdges, gridEdges+shortcuts)
+	}
+	if !g.Connected() {
+		t.Fatal("lattice is disconnected")
+	}
+	// Every grid edge must exist; street weights lie in [1, 2).
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols && !g.HasEdge(u, u+1) {
+				t.Fatalf("missing street (%d,%d)-(%d,%d)", r, c, r, c+1)
+			}
+			if r+1 < rows && !g.HasEdge(u, u+cols) {
+				t.Fatalf("missing street (%d,%d)-(%d,%d)", r, c, r+1, c)
+			}
+		}
+	}
+	for _, id := range g.EdgeIDs()[:gridEdges] {
+		if w := g.Weight(id); w < 1 || w >= 2 {
+			t.Fatalf("street weight %v outside [1,2)", w)
+		}
+	}
+	// Shortcut weights beat the street route between their endpoints.
+	for _, id := range g.EdgeIDs()[gridEdges:] {
+		e := g.Edge(id)
+		ru, cu := e.U/cols, e.U%cols
+		rv, cv := e.V/cols, e.V%cols
+		manhattan := math.Abs(float64(ru-rv)) + math.Abs(float64(cu-cv))
+		if manhattan < 1 {
+			manhattan = 1
+		}
+		if e.W < 0.5*manhattan || e.W > manhattan {
+			t.Fatalf("shortcut {%d,%d} weighs %v, want within [%v, %v]", e.U, e.V, e.W, 0.5*manhattan, manhattan)
+		}
+	}
+}
+
+func TestLatticeUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := Lattice(rng, 8, 8, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weighted() {
+		t.Fatal("unweighted lattice reports weighted")
+	}
+	for _, id := range g.EdgeIDs() {
+		if g.Weight(id) != 1 {
+			t.Fatalf("weight %v on unweighted lattice", g.Weight(id))
+		}
+	}
+}
+
+func TestLatticeDeterministic(t *testing.T) {
+	build := func() *graph.Graph {
+		g, err := Lattice(rand.New(rand.NewSource(99)), 10, 12, 40, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for id := 0; id < a.EdgeIDLimit(); id++ {
+		if a.Edge(id) != b.Edge(id) {
+			t.Fatalf("same seed, edge %d differs: %v vs %v", id, a.Edge(id), b.Edge(id))
+		}
+	}
+}
+
+func TestLatticeErrorsAndDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Lattice(rng, -1, 3, 0, false); err == nil {
+		t.Error("negative rows accepted")
+	}
+	if _, err := Lattice(rng, 3, -1, 0, false); err == nil {
+		t.Error("negative cols accepted")
+	}
+	if _, err := Lattice(rng, 3, 3, -1, false); err == nil {
+		t.Error("negative shortcuts accepted")
+	}
+	g, err := Lattice(rng, 0, 5, 10, true)
+	if err != nil || g.N() != 0 || g.M() != 0 {
+		t.Errorf("0×5 lattice: %v, %v", g, err)
+	}
+	g, err = Lattice(rng, 1, 1, 10, true)
+	if err != nil || g.N() != 1 || g.M() != 0 {
+		t.Errorf("1×1 lattice: %v, %v", g, err)
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, avgDeg := 20000, 8.0
+	g, err := PowerLaw(rng, n, avgDeg, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	// Realized average degree tracks the requested one. Chung–Lu truncates
+	// probabilities at 1, which loses some head mass, so allow a generous
+	// band.
+	realized := 2 * float64(g.M()) / float64(n)
+	if realized < 0.5*avgDeg || realized > 1.5*avgDeg {
+		t.Fatalf("realized average degree %v, want near %v", realized, avgDeg)
+	}
+	// Heavy tail: the hubs must dwarf the average.
+	if md := g.MaxDegree(); float64(md) < 5*avgDeg {
+		t.Fatalf("max degree %d is not heavy-tailed for avg %v", md, avgDeg)
+	}
+	// Weights are nonincreasing in vertex ID, so early vertices are the hubs.
+	first, last := 0, 0
+	for u := 0; u < 100; u++ {
+		first += g.Degree(u)
+		last += g.Degree(n - 1 - u)
+	}
+	if first <= last {
+		t.Fatalf("first 100 vertices have degree sum %d <= last 100's %d; power-law head missing", first, last)
+	}
+}
+
+// TestPowerLawEdgeProbabilities cross-checks the skip-sampling construction
+// against the model definition: over many trials on a small n, the empirical
+// frequency of each edge must match min(1, w_i·w_j/Σw).
+func TestPowerLawEdgeProbabilities(t *testing.T) {
+	const (
+		n      = 8
+		avgDeg = 3.0
+		expo   = 2.5
+		trials = 4000
+	)
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -1/(expo-1))
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	sum = avgDeg * float64(n)
+
+	counts := make(map[[2]int]int)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < trials; trial++ {
+		g, err := PowerLaw(rng, n, avgDeg, expo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			counts[[2]int{e.U, e.V}]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			want := w[i] * w[j] / sum
+			if want > 1 {
+				want = 1
+			}
+			got := float64(counts[[2]int{i, j}]) / trials
+			// Binomial std dev is at most sqrt(0.25/trials) ≈ 0.008; allow 5σ.
+			if math.Abs(got-want) > 0.04 {
+				t.Errorf("edge {%d,%d}: empirical probability %.3f, model %.3f", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	build := func() *graph.Graph {
+		g, err := PowerLaw(rand.New(rand.NewSource(77)), 500, 6, 2.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for id := 0; id < a.EdgeIDLimit(); id++ {
+		if a.Edge(id) != b.Edge(id) {
+			t.Fatalf("same seed, edge %d differs", id)
+		}
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := PowerLaw(rng, -1, 4, 2.5); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := PowerLaw(rng, 10, -1, 2.5); err == nil {
+		t.Error("negative avgDeg accepted")
+	}
+	if _, err := PowerLaw(rng, 10, 4, 2); err == nil {
+		t.Error("exponent 2 accepted (mean diverges)")
+	}
+	if _, err := PowerLaw(rng, 10, math.NaN(), 2.5); err == nil {
+		t.Error("NaN avgDeg accepted")
+	}
+	g, err := PowerLaw(rng, 0, 4, 2.5)
+	if err != nil || g.N() != 0 {
+		t.Errorf("n=0: %v, %v", g, err)
+	}
+	g, err = PowerLaw(rng, 10, 0, 2.5)
+	if err != nil || g.M() != 0 {
+		t.Errorf("avgDeg=0: %v, %v", g, err)
+	}
+}

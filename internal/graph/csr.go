@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// View is the read-only adjacency interface shared by *Graph and *CSR.
+// Every search and construction algorithm in this module reads a graph
+// through exactly these methods, so the two representations are
+// interchangeable wherever the graph is not being mutated: build a *Graph
+// under churn, snapshot it as a *CSR for the query hot path.
+type View interface {
+	// N is the vertex count; vertices are dense IDs in [0, N()).
+	N() int
+	// M is the number of live edges.
+	M() int
+	// Weighted reports whether edges carry weights other than 1.
+	Weighted() bool
+	// EdgeIDLimit bounds the edge-ID space; see Graph.EdgeIDLimit.
+	EdgeIDLimit() int
+	// EdgeAlive reports whether id identifies a live edge.
+	EdgeAlive(id int) bool
+	// Adj returns the adjacency list of u, owned by the representation.
+	Adj(u int) []HalfEdge
+	// Edge returns the edge with the given ID (U = V = -1 for a dead ID).
+	Edge(id int) Edge
+	// Weight returns the weight of edge id (1 for unweighted graphs).
+	Weight(id int) float64
+	// EdgeBetween returns the ID of the edge {u, v} if present.
+	EdgeBetween(u, v int) (int, bool)
+	// EdgeIDs returns the live edge IDs in ascending ID order.
+	EdgeIDs() []int
+	// EdgeIDsByWeight returns the live edge IDs by nondecreasing weight,
+	// ties broken by ID.
+	EdgeIDsByWeight() []int
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*CSR)(nil)
+)
+
+// CSR is an immutable compressed-sparse-row snapshot of a graph: one flat
+// []HalfEdge backing array plus per-vertex offsets instead of n separate
+// adjacency slices. Iterating a neighborhood touches one contiguous cache
+// run, and a whole-graph scan is a single sequential sweep — the difference
+// between thrashing and streaming once n reaches 10^5 and the per-vertex
+// slices of *Graph scatter across the heap.
+//
+// A CSR preserves the source graph exactly: the same vertex IDs, the same
+// edge-ID space (dead free-listed slots included), and the same per-vertex
+// adjacency order. Searches and greedy builds therefore produce identical
+// results on either representation (pinned by TestCSREquivalence).
+//
+// The zero value is not useful; build one with BuildCSR, NewCSR, or ReadCSR.
+// A CSR is safe for concurrent readers (nothing mutates it after
+// construction).
+type CSR struct {
+	weighted bool
+	m        int
+	offsets  []int // len N()+1; adjacency of u is halves[offsets[u]:offsets[u+1]]
+	halves   []HalfEdge
+	edges    []Edge // indexed by edge ID; dead slots hold U = V = -1
+}
+
+// BuildCSR snapshots g into CSR form in O(n+m). Later mutations of g do not
+// affect the snapshot.
+func BuildCSR(g *Graph) *CSR {
+	n := g.N()
+	c := &CSR{
+		weighted: g.weighted,
+		m:        g.M(),
+		offsets:  make([]int, n+1),
+		edges:    append([]Edge(nil), g.edges...),
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		c.offsets[u] = total
+		total += len(g.adj[u])
+	}
+	c.offsets[n] = total
+	c.halves = make([]HalfEdge, total)
+	for u := 0; u < n; u++ {
+		copy(c.halves[c.offsets[u]:], g.adj[u])
+	}
+	return c
+}
+
+// NewCSR builds a CSR directly from an edge list on n vertices, without an
+// intermediate *Graph: edge i of the slice gets edge ID i, and adjacency
+// order matches a *Graph built by adding the same edges in order. This is
+// the O(n+m)-memory ingestion path (see ReadCSR): the edge slice is adopted,
+// not copied, and the caller must not modify it afterwards.
+//
+// Endpoints are normalized to U < V in place. NewCSR rejects out-of-range
+// endpoints, self-loops, invalid weights (per CheckWeight), and duplicate
+// edges.
+func NewCSR(n int, weighted bool, edges []Edge) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: csr needs n >= 0, got %d", n)
+	}
+	c := &CSR{
+		weighted: weighted,
+		m:        len(edges),
+		offsets:  make([]int, n+1),
+		edges:    edges,
+	}
+	deg := make([]int, n)
+	for i := range edges {
+		e := &edges[i]
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		if e.U < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: csr edge {%d,%d} out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: csr self-loop at vertex %d", e.U)
+		}
+		if err := checkWeight(weighted, e.W); err != nil {
+			return nil, fmt.Errorf("%w for edge {%d,%d}", err, e.U, e.V)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		c.offsets[u] = total
+		total += deg[u]
+	}
+	c.offsets[n] = total
+	c.halves = make([]HalfEdge, total)
+	// cursor doubles as the fill position; it starts at each offset and ends
+	// at the next one.
+	cursor := append([]int(nil), c.offsets[:n]...)
+	for id, e := range edges {
+		c.halves[cursor[e.U]] = HalfEdge{To: e.V, ID: id}
+		cursor[e.U]++
+		c.halves[cursor[e.V]] = HalfEdge{To: e.U, ID: id}
+		cursor[e.V]++
+	}
+	// Duplicate detection in O(n+m): stamp each neighborhood's endpoints.
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		for _, he := range c.Adj(u) {
+			if stamp[he.To] == u {
+				return nil, fmt.Errorf("graph: csr duplicate edge {%d,%d}", u, he.To)
+			}
+			stamp[he.To] = u
+		}
+	}
+	return c, nil
+}
+
+// checkWeight is CheckWeight without a graph value, for CSR construction.
+func checkWeight(weighted bool, w float64) error {
+	tmp := Graph{weighted: weighted}
+	return CheckWeight(&tmp, w)
+}
+
+// Weighted reports whether the snapshot carries edge weights.
+func (c *CSR) Weighted() bool { return c.weighted }
+
+// N returns the number of vertices.
+func (c *CSR) N() int { return len(c.offsets) - 1 }
+
+// M returns the number of live edges.
+func (c *CSR) M() int { return c.m }
+
+// EdgeIDLimit returns the exclusive upper bound of the edge-ID space,
+// matching the source graph's (dead slots included).
+func (c *CSR) EdgeIDLimit() int { return len(c.edges) }
+
+// EdgeAlive reports whether id identifies a live edge.
+func (c *CSR) EdgeAlive(id int) bool {
+	return id >= 0 && id < len(c.edges) && c.edges[id].U >= 0
+}
+
+// Adj returns the adjacency list of u as a subslice of the flat backing
+// array. It is owned by the CSR and must not be modified.
+func (c *CSR) Adj(u int) []HalfEdge { return c.halves[c.offsets[u]:c.offsets[u+1]] }
+
+// Degree returns the number of edges incident to u.
+func (c *CSR) Degree(u int) int { return c.offsets[u+1] - c.offsets[u] }
+
+// Edge returns the edge with the given ID.
+func (c *CSR) Edge(id int) Edge { return c.edges[id] }
+
+// Weight returns the weight of edge id (1 for unweighted graphs).
+func (c *CSR) Weight(id int) float64 { return c.edges[id].W }
+
+// Edges returns a copy of the live edge list in ascending edge-ID order.
+func (c *CSR) Edges() []Edge {
+	out := make([]Edge, 0, c.m)
+	for _, e := range c.edges {
+		if e.U >= 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EdgeBetween returns the ID of the edge {u, v} if present, scanning the
+// shorter of the two adjacency runs exactly like Graph.EdgeBetween.
+func (c *CSR) EdgeBetween(u, v int) (int, bool) {
+	n := c.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, false
+	}
+	if c.Degree(u) > c.Degree(v) {
+		u, v = v, u
+	}
+	for _, he := range c.Adj(u) {
+		if he.To == v {
+			return he.ID, true
+		}
+	}
+	return 0, false
+}
+
+// HasEdge reports whether the edge {u, v} is present.
+func (c *CSR) HasEdge(u, v int) bool {
+	_, ok := c.EdgeBetween(u, v)
+	return ok
+}
+
+// EdgeIDs returns the IDs of all live edges in ascending ID order.
+func (c *CSR) EdgeIDs() []int {
+	ids := make([]int, 0, c.m)
+	for id := range c.edges {
+		if c.edges[id].U >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// EdgeIDsByWeight returns all live edge IDs sorted by nondecreasing weight,
+// breaking ties by edge ID, matching Graph.EdgeIDsByWeight.
+func (c *CSR) EdgeIDsByWeight() []int {
+	ids := c.EdgeIDs()
+	sort.SliceStable(ids, func(a, b int) bool {
+		return c.edges[ids[a]].W < c.edges[ids[b]].W
+	})
+	return ids
+}
+
+// ToGraph materializes the snapshot back into a mutable *Graph with the same
+// vertex IDs, edge IDs, and adjacency order.
+func (c *CSR) ToGraph() *Graph {
+	g := &Graph{
+		weighted: c.weighted,
+		adj:      make([][]HalfEdge, c.N()),
+		edges:    append([]Edge(nil), c.edges...),
+	}
+	for id, e := range c.edges {
+		if e.U < 0 {
+			g.free = append(g.free, id)
+		}
+	}
+	for u := range g.adj {
+		if d := c.Degree(u); d > 0 {
+			g.adj[u] = append(make([]HalfEdge, 0, d), c.Adj(u)...)
+		}
+	}
+	return g
+}
+
+// String returns a short human-readable summary.
+func (c *CSR) String() string {
+	kind := "unweighted"
+	if c.weighted {
+		kind = "weighted"
+	}
+	return fmt.Sprintf("csr(n=%d, m=%d, %s)", c.N(), c.M(), kind)
+}

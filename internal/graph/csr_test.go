@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mutatedGraph returns a random graph that has been through a
+// remove/re-add churn pass, so its edge-ID space has free-listed holes and
+// its adjacency order reflects swap-removal — the worst case for any code
+// assuming dense IDs or insertion order.
+func mutatedGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 8 + rng.Intn(40)
+	g := NewWeighted(n)
+	for try := 0; try < 4*n; try++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdgeW(u, v, 0.5+rng.Float64())
+	}
+	ids := g.EdgeIDs()
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids[:len(ids)/3] {
+		if err := g.RemoveEdge(id); err != nil {
+			panic(err)
+		}
+	}
+	for try := 0; try < n/2; try++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdgeW(u, v, 0.5+rng.Float64())
+	}
+	return g
+}
+
+// checkCSRMatches asserts that c is an exact structural replica of g: same
+// counts, same edge-ID space (dead slots included), and byte-identical
+// per-vertex adjacency order.
+func checkCSRMatches(t *testing.T, g *Graph, c *CSR) {
+	t.Helper()
+	if c.N() != g.N() || c.M() != g.M() || c.Weighted() != g.Weighted() {
+		t.Fatalf("csr shape %v != graph shape %v", c, g)
+	}
+	if c.EdgeIDLimit() != g.EdgeIDLimit() {
+		t.Fatalf("EdgeIDLimit: csr %d, graph %d", c.EdgeIDLimit(), g.EdgeIDLimit())
+	}
+	for id := 0; id < g.EdgeIDLimit(); id++ {
+		if c.EdgeAlive(id) != g.EdgeAlive(id) {
+			t.Fatalf("EdgeAlive(%d): csr %v, graph %v", id, c.EdgeAlive(id), g.EdgeAlive(id))
+		}
+		if c.Edge(id) != g.Edge(id) {
+			t.Fatalf("Edge(%d): csr %v, graph %v", id, c.Edge(id), g.Edge(id))
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		ga, ca := g.Adj(u), c.Adj(u)
+		if len(ga) != len(ca) {
+			t.Fatalf("Adj(%d): csr degree %d, graph degree %d", u, len(ca), len(ga))
+		}
+		for i := range ga {
+			if ga[i] != ca[i] {
+				t.Fatalf("Adj(%d)[%d]: csr %v, graph %v — adjacency order must match", u, i, ca[i], ga[i])
+			}
+		}
+		if c.Degree(u) != g.Degree(u) {
+			t.Fatalf("Degree(%d): csr %d, graph %d", u, c.Degree(u), g.Degree(u))
+		}
+	}
+	if !reflect.DeepEqual(c.EdgeIDs(), g.EdgeIDs()) {
+		t.Fatal("EdgeIDs differ")
+	}
+	if !reflect.DeepEqual(c.EdgeIDsByWeight(), g.EdgeIDsByWeight()) {
+		t.Fatal("EdgeIDsByWeight differ")
+	}
+	if !reflect.DeepEqual(c.Edges(), g.Edges()) {
+		t.Fatal("Edges differ")
+	}
+}
+
+func TestBuildCSRMatchesGraph(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := mutatedGraph(seed)
+		checkCSRMatches(t, g, BuildCSR(g))
+	}
+}
+
+func TestBuildCSRIsSnapshot(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	c := BuildCSR(g)
+	g.MustAddEdge(1, 2)
+	if err := g.RemoveEdge(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != 1 || !c.EdgeAlive(0) || c.EdgeIDLimit() != 1 {
+		t.Fatalf("snapshot changed under source mutation: %v", c)
+	}
+	if got, ok := c.EdgeBetween(0, 1); !ok || got != 0 {
+		t.Fatalf("EdgeBetween(0,1) = %d,%v, want 0,true", got, ok)
+	}
+	if c.HasEdge(1, 2) {
+		t.Fatal("snapshot acquired an edge added after BuildCSR")
+	}
+}
+
+func TestCSRToGraphRoundTrip(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		g := mutatedGraph(seed)
+		back := BuildCSR(g).ToGraph()
+		// The round trip must preserve everything, including free-list holes
+		// and adjacency order; compare via a fresh CSR of the result.
+		checkCSRMatches(t, back, BuildCSR(g))
+		checkCSRMatches(t, g, BuildCSR(back))
+		// And the rebuilt graph must still be mutable in the reclaimed slots.
+		before := back.EdgeIDLimit()
+		if back.M() < before {
+			u, v := findNonEdge(back)
+			id := back.MustAddEdgeW(u, v, 1.5)
+			if id >= before {
+				t.Fatalf("ToGraph lost the free list: new edge got id %d, limit was %d", id, before)
+			}
+		}
+	}
+}
+
+func findNonEdge(g *Graph) (int, int) {
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				return u, v
+			}
+		}
+	}
+	panic("complete graph")
+}
+
+func TestNewCSRMatchesIncrementalGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(30)
+		weighted := trial%2 == 0
+		var g *Graph
+		if weighted {
+			g = NewWeighted(n)
+		} else {
+			g = New(n)
+		}
+		var edges []Edge
+		for try := 0; try < 3*n; try++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			w := 1.0
+			if weighted {
+				w = rng.Float64() * 10
+			}
+			g.MustAddEdgeW(u, v, w)
+			edges = append(edges, Edge{U: u, V: v, W: w})
+		}
+		c, err := NewCSR(n, weighted, edges)
+		if err != nil {
+			t.Fatalf("trial %d: NewCSR: %v", trial, err)
+		}
+		checkCSRMatches(t, g, c)
+	}
+}
+
+func TestNewCSRErrors(t *testing.T) {
+	tests := []struct {
+		name     string
+		n        int
+		weighted bool
+		edges    []Edge
+	}{
+		{"negative n", -1, false, nil},
+		{"endpoint too big", 3, false, []Edge{{U: 0, V: 3, W: 1}}},
+		{"endpoint negative", 3, false, []Edge{{U: -1, V: 2, W: 1}}},
+		{"self loop", 3, false, []Edge{{U: 2, V: 2, W: 1}}},
+		{"duplicate", 3, false, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 1}}},
+		{"bad weight unweighted", 3, false, []Edge{{U: 0, V: 1, W: 2}}},
+		{"nan weight", 3, true, []Edge{{U: 0, V: 1, W: nan()}}},
+		{"negative weight", 3, true, []Edge{{U: 0, V: 1, W: -1}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewCSR(tc.n, tc.weighted, tc.edges); err == nil {
+				t.Errorf("NewCSR(%d, %v, %v) succeeded, want error", tc.n, tc.weighted, tc.edges)
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestCSREmpty(t *testing.T) {
+	c, err := NewCSR(0, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 0 || c.M() != 0 {
+		t.Fatalf("empty csr = %v", c)
+	}
+	c = BuildCSR(New(3))
+	if c.N() != 3 || c.M() != 0 || len(c.Adj(1)) != 0 {
+		t.Fatalf("edgeless csr = %v", c)
+	}
+	if _, ok := c.EdgeBetween(0, 5); ok {
+		t.Fatal("EdgeBetween accepted an out-of-range vertex")
+	}
+}

@@ -338,6 +338,13 @@ func (g *Graph) EmptyLike() *Graph {
 	return &Graph{weighted: g.weighted, adj: make([][]HalfEdge, len(g.adj))}
 }
 
+// NewLike is EmptyLike for any View: an edgeless mutable graph with the
+// vertex count and weightedness of g, so construction algorithms can grow a
+// spanner of a CSR snapshot just as they do of a *Graph.
+func NewLike(g View) *Graph {
+	return &Graph{weighted: g.Weighted(), adj: make([][]HalfEdge, g.N())}
+}
+
 // EdgeIDsByWeight returns all live edge IDs sorted by nondecreasing weight,
 // breaking ties by edge ID so the order is deterministic. This is the
 // consideration order of the weighted greedy algorithms (Algorithm 1 and

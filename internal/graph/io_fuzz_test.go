@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadStream cross-checks the three readers on arbitrary input: whenever
+// the materialized Read accepts a byte string, StreamEdges and ReadCSR must
+// accept it too and agree on the result, and re-serializing must round-trip.
+// Whenever Read rejects, the streaming readers must reject as well (the only
+// check Read adds over StreamEdges is duplicate detection, which ReadCSR and
+// NewCSR share). None of the three may panic on garbage.
+func FuzzReadStream(f *testing.F) {
+	f.Add([]byte("graph 3 2 unweighted\n0 1\n1 2\n"))
+	f.Add([]byte("graph 4 3 weighted\n0 1 0.5\n1 2 5e-324\n2 3 1e300\n"))
+	f.Add([]byte("# comment\n\ngraph 2 1 unweighted\n# c\n0 1\n# trailing\n"))
+	f.Add([]byte("graph 0 0 unweighted\n"))
+	f.Add([]byte("graph 10 0 weighted\n"))
+	f.Add([]byte("grph 3 2 unweighted\n0 1\n1 2\n"))
+	f.Add([]byte("graph 3 2 unweighted\n0 1\n"))
+	f.Add([]byte("graph 3 1 weighted\n0 1 -4\n"))
+	f.Add([]byte("graph 3 2 unweighted\n0 1\n1 0\n"))
+	f.Add([]byte("graph 1000000000 2 unweighted\n0 1\n1 2\n"))
+	f.Add([]byte("graph 3 1 unweighted\n1 1\n"))
+	f.Add([]byte("graph 3 1 weighted\n0 1 NaN\n"))
+	f.Add([]byte("graph 3 1 weighted\n0 1 +Inf\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap the claimed vertex count so a 10-byte input can't make the
+		// fuzzer allocate gigabytes for adjacency arrays.
+		var hdr StreamHeader
+		peek := StreamEdges(bytes.NewReader(data), func(h StreamHeader) error {
+			hdr = h
+			return nil
+		}, func(u, v int, w float64) error { return nil })
+		if peek == nil && (hdr.N > 1_000_000 || hdr.M > 1_000_000) {
+			t.Skip("header demands oversized graph")
+		}
+
+		g, readErr := Read(bytes.NewReader(data))
+		c, csrErr := ReadCSR(bytes.NewReader(data))
+
+		if readErr != nil {
+			// Read rejects a superset of what StreamEdges rejects (duplicate
+			// edges), and ReadCSR rejects exactly that superset.
+			if csrErr == nil {
+				t.Fatalf("Read rejected (%v) but ReadCSR accepted", readErr)
+			}
+			return
+		}
+		if peek != nil {
+			t.Fatalf("Read accepted but StreamEdges rejected: %v", peek)
+		}
+		if csrErr != nil {
+			t.Fatalf("Read accepted but ReadCSR rejected: %v", csrErr)
+		}
+		if c.N() != g.N() || c.M() != g.M() || c.Weighted() != g.Weighted() {
+			t.Fatalf("ReadCSR %v disagrees with Read %v", c, g)
+		}
+		for u := 0; u < g.N(); u++ {
+			ga, ca := g.Adj(u), c.Adj(u)
+			if len(ga) != len(ca) {
+				t.Fatalf("Adj(%d): csr degree %d, graph degree %d", u, len(ca), len(ga))
+			}
+			for i := range ga {
+				if ga[i] != ca[i] {
+					t.Fatalf("Adj(%d)[%d]: csr %v, graph %v", u, i, ca[i], ga[i])
+				}
+			}
+		}
+
+		// Round trip: what we accepted must serialize and re-read to the
+		// same graph.
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write of accepted graph failed: %v", err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of serialized graph failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() || back.Weighted() != g.Weighted() {
+			t.Fatalf("round trip changed the graph: %v -> %v", g, back)
+		}
+	})
+}

@@ -83,15 +83,23 @@ func (g *Graph) Union(h *Graph) (*Graph, error) {
 // IsSubgraphOf reports whether every edge of g appears in h with the same
 // weight, and g and h have the same vertex count.
 func (g *Graph) IsSubgraphOf(h *Graph) bool {
-	if g.N() != h.N() {
+	return IsSubgraph(g, h)
+}
+
+// IsSubgraph is IsSubgraphOf for any pair of representations: every edge of
+// sub appears in super with the same weight, and the vertex counts match.
+func IsSubgraph(sub, super View) bool {
+	if sub.N() != super.N() {
 		return false
 	}
-	for _, e := range g.edges {
-		if e.U < 0 {
+	limit := sub.EdgeIDLimit()
+	for id := 0; id < limit; id++ {
+		if !sub.EdgeAlive(id) {
 			continue // dead slot from RemoveEdge
 		}
-		id, ok := h.EdgeBetween(e.U, e.V)
-		if !ok || h.edges[id].W != e.W {
+		e := sub.Edge(id)
+		sid, ok := super.EdgeBetween(e.U, e.V)
+		if !ok || super.Weight(sid) != e.W {
 			return false
 		}
 	}

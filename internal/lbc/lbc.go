@@ -90,7 +90,7 @@ type Result struct {
 //
 // Decide allocates its own scratch per call; the greedy's hot loop uses
 // DecideWith with a long-lived sp.Searcher instead.
-func Decide(g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
+func Decide(g graph.View, u, v, t, alpha int, mode Mode) (Result, error) {
 	res, err := DecideWith(sp.NewSearcher(g.N(), g.EdgeIDLimit()), g, u, v, t, alpha, mode)
 	if err != nil {
 		return res, err
@@ -117,7 +117,7 @@ func Decide(g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
 // that retain them must copy. The searcher's fault mask is reset on entry
 // and on exit (both O(1)), so s carries no state between calls and stays
 // safe for direct Dist/BFS use afterwards.
-func DecideWith(s *sp.Searcher, g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
+func DecideWith(s *sp.Searcher, g graph.View, u, v, t, alpha int, mode Mode) (Result, error) {
 	s.ResetBlocked()
 	return DecideWithBlocked(s, g, u, v, t, alpha, mode)
 }
@@ -132,7 +132,7 @@ func DecideWith(s *sp.Searcher, g *graph.Graph, u, v, t, alpha int, mode Mode) (
 //
 // The mask is reset before returning, pins included — callers re-pin per
 // call.
-func DecideWithBlocked(s *sp.Searcher, g *graph.Graph, u, v, t, alpha int, mode Mode) (Result, error) {
+func DecideWithBlocked(s *sp.Searcher, g graph.View, u, v, t, alpha int, mode Mode) (Result, error) {
 	if err := validate(g, u, v, t, alpha, mode); err != nil {
 		return Result{}, err
 	}
@@ -182,7 +182,7 @@ func DecideWithBlocked(s *sp.Searcher, g *graph.Graph, u, v, t, alpha int, mode 
 	return finish(Result{Yes: false, Passes: alpha + 1})
 }
 
-func validate(g *graph.Graph, u, v, t, alpha int, mode Mode) error {
+func validate(g graph.View, u, v, t, alpha int, mode Mode) error {
 	if !mode.valid() {
 		return fmt.Errorf("lbc: invalid mode %v", mode)
 	}
@@ -206,7 +206,7 @@ func validate(g *graph.Graph, u, v, t, alpha int, mode Mode) error {
 // is a valid length-t-cut for u, v in g: after removing it, no u-v path of
 // at most t hops remains. For Vertex mode, sets containing a terminal are
 // rejected (a cut must avoid the terminals by definition).
-func IsCut(g *graph.Graph, u, v, t int, cut []int, mode Mode) (bool, error) {
+func IsCut(g graph.View, u, v, t int, cut []int, mode Mode) (bool, error) {
 	if err := validate(g, u, v, t, 0, mode); err != nil {
 		return false, err
 	}
@@ -238,7 +238,7 @@ func IsCut(g *graph.Graph, u, v, t int, cut []int, mode Mode) (bool, error) {
 // of increasing size up to maxSize. It returns the cut and found=true if a
 // cut of size at most maxSize exists. Running time is O(C(n, maxSize)·(m+n))
 // — use only on small instances (test oracle, E3/E4 experiments).
-func Exact(g *graph.Graph, u, v, t, maxSize int, mode Mode) (cut []int, found bool, err error) {
+func Exact(g graph.View, u, v, t, maxSize int, mode Mode) (cut []int, found bool, err error) {
 	if err := validate(g, u, v, t, 0, mode); err != nil {
 		return nil, false, err
 	}

@@ -18,7 +18,7 @@ import (
 //	GET  /healthz          -> {"ok":true,"epoch":3}
 //	GET  /stats            -> the Stats struct
 //	POST /query            -> QueryResponse for a QueryRequest body
-//	GET  /query?u=0&v=5&faults=2,7&no_cache=1
+//	GET  /query?u=0&v=5&faults=2,7&no_cache=1&max_distance=3.5
 //	                          (edge mode spells faults as "2-7,3-9" pairs)
 //	POST /batch            -> BatchResponse for a BatchRequest body
 //
@@ -34,6 +34,9 @@ type QueryRequest struct {
 	FaultVertices []int    `json:"fault_vertices,omitempty"`
 	FaultEdges    [][2]int `json:"fault_edges,omitempty"`
 	NoCache       bool     `json:"no_cache,omitempty"`
+	// MaxDistance > 0 bounds the search radius (QueryOptions.MaxDistance);
+	// 0 or absent means unbounded.
+	MaxDistance float64 `json:"max_distance,omitempty"`
 }
 
 // QueryResponse is the /query reply.
@@ -105,6 +108,7 @@ func NewHTTPHandler(o *Oracle) http.Handler {
 			FaultVertices: req.FaultVertices,
 			FaultEdges:    req.FaultEdges,
 			NoCache:       req.NoCache,
+			MaxDistance:   req.MaxDistance,
 		})
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
@@ -171,7 +175,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // decodeQueryRequest accepts POST (JSON body) and GET (query parameters:
-// u, v, faults, no_cache). GET fault syntax follows the oracle's mode:
+// u, v, faults, no_cache, max_distance). GET fault syntax follows the
+// oracle's mode:
 // "3,17" vertex IDs, or "3-17,4-9" endpoint pairs.
 func decodeQueryRequest(r *http.Request, mode lbc.Mode) (QueryRequest, error) {
 	var req QueryRequest
@@ -192,6 +197,11 @@ func decodeQueryRequest(r *http.Request, mode lbc.Mode) (QueryRequest, error) {
 		}
 		if nc := q.Get("no_cache"); nc == "1" || nc == "true" {
 			req.NoCache = true
+		}
+		if md := q.Get("max_distance"); md != "" {
+			if req.MaxDistance, err = strconv.ParseFloat(md, 64); err != nil {
+				return req, fmt.Errorf("parameter max_distance: %v", err)
+			}
 		}
 		faults := q.Get("faults")
 		if faults == "" {

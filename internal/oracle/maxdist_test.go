@@ -1,0 +1,210 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	"ftspanner/internal/verify"
+)
+
+// TestMaxDistanceSemantics pins the bounded-query contract: a cap at or
+// above the true distance returns the exact uncapped answer (a pair exactly
+// at the cap is reported), a cap below it returns +Inf with no path.
+func TestMaxDistanceSemantics(t *testing.T) {
+	g := mustGNP(t, 31, 60, 8)
+	o, err := New(g, Config{K: 2, F: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for u := 0; u < 20; u++ {
+		for v := 20; v < 40; v++ {
+			full, err := o.Query(u, v, QueryOptions{NoCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsInf(full.Distance, 1) {
+				continue
+			}
+			checked++
+			// Exactly at the bound: still reported, bit-identical.
+			at, err := o.Query(u, v, QueryOptions{NoCache: true, MaxDistance: full.Distance})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if at.Distance != full.Distance || len(at.Path) != len(full.Path) {
+				t.Fatalf("d(%d,%d): cap==dist gave %v (path %v), uncapped %v (path %v)",
+					u, v, at.Distance, at.Path, full.Distance, full.Path)
+			}
+			// Slack above the bound: identical too.
+			above, err := o.Query(u, v, QueryOptions{NoCache: true, MaxDistance: full.Distance * 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if above.Distance != full.Distance {
+				t.Fatalf("d(%d,%d): generous cap gave %v, want %v", u, v, above.Distance, full.Distance)
+			}
+			// Just below the bound: unreachable within the cap.
+			if full.Distance > 0 {
+				below, err := o.Query(u, v, QueryOptions{NoCache: true, MaxDistance: full.Distance * 0.999})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !math.IsInf(below.Distance, 1) || below.Path != nil {
+					t.Fatalf("d(%d,%d): cap below dist %v gave %v (path %v), want +Inf",
+						u, v, full.Distance, below.Distance, below.Path)
+				}
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d reachable pairs checked; graph too sparse for the test", checked)
+	}
+}
+
+// TestMaxDistanceCacheSeparation pins that capped and uncapped answers for
+// the same (u, v, faults) never share a cache entry, and distinct caps get
+// distinct entries.
+func TestMaxDistanceCacheSeparation(t *testing.T) {
+	g := mustGNP(t, 32, 50, 8)
+	o, err := New(g, Config{K: 2, F: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []int{3, 7}
+	full, err := o.Query(1, 40, QueryOptions{FaultVertices: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CacheHit || math.IsInf(full.Distance, 1) {
+		t.Fatalf("need a cold reachable baseline, got %+v", full)
+	}
+	// A tight cap must miss the uncapped entry and compute +Inf.
+	tight := full.Distance / 2
+	capped, err := o.Query(1, 40, QueryOptions{FaultVertices: faults, MaxDistance: tight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.CacheHit {
+		t.Fatal("capped query hit the uncapped cache entry")
+	}
+	if !math.IsInf(capped.Distance, 1) {
+		t.Fatalf("capped distance %v, want +Inf under cap %v", capped.Distance, tight)
+	}
+	// Repeats hit their own entries with their own values.
+	capped2, err := o.Query(1, 40, QueryOptions{FaultVertices: faults, MaxDistance: tight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped2.CacheHit || !math.IsInf(capped2.Distance, 1) {
+		t.Fatalf("capped repeat: %+v, want cache hit at +Inf", capped2)
+	}
+	full2, err := o.Query(1, 40, QueryOptions{FaultVertices: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full2.CacheHit || full2.Distance != full.Distance {
+		t.Fatalf("uncapped repeat: %+v, want cache hit at %v", full2, full.Distance)
+	}
+	// A different cap is a different key.
+	other, err := o.Query(1, 40, QueryOptions{FaultVertices: faults, MaxDistance: full.Distance + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHit {
+		t.Fatal("distinct cap hit another cap's entry")
+	}
+	if other.Distance != full.Distance {
+		t.Fatalf("generous cap gave %v, want %v", other.Distance, full.Distance)
+	}
+}
+
+// TestMaxDistanceValidation covers the rejected values and the +Inf
+// degenerate case, which means unbounded and shares the unbounded key.
+func TestMaxDistanceValidation(t *testing.T) {
+	g := mustGNP(t, 33, 30, 6)
+	o, err := New(g, Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-1, -0.001, math.Inf(-1), math.NaN()} {
+		if _, err := o.Query(0, 1, QueryOptions{MaxDistance: bad}); err == nil {
+			t.Errorf("MaxDistance %v accepted", bad)
+		}
+	}
+	full, err := o.Query(0, 20, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := o.Query(0, 20, QueryOptions{MaxDistance: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Distance != full.Distance || !inf.CacheHit {
+		t.Fatalf("MaxDistance=+Inf: %+v, want the cached unbounded answer %+v", inf, full)
+	}
+}
+
+// TestMaxDistanceServedVerify checks bounded answers the same way the churn
+// tests check unbounded ones: every within-cap answer must survive
+// CheckServedAnswer against the snapshot.
+func TestMaxDistanceServedVerify(t *testing.T) {
+	g := mustGNP(t, 34, 60, 8)
+	o, err := New(g, Config{K: 2, F: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snapH, _ := o.Snapshot()
+	verified := 0
+	for u := 0; u < 15; u++ {
+		for v := 30; v < 45; v++ {
+			faults := []int{u % 5, 20 + v%5}
+			res, err := o.Query(u, v, QueryOptions{FaultVertices: faults, MaxDistance: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsInf(res.Distance, 1) {
+				continue // beyond the cap; nothing to verify against
+			}
+			verified++
+			if err := verify.CheckServedAnswer(snapH, verify.ServedAnswer{
+				U: u, V: v, Dist: res.Distance, Path: res.Path, FaultVertices: faults,
+			}); err != nil {
+				t.Fatalf("d(%d,%d) under cap: %v", u, v, err)
+			}
+		}
+	}
+	if verified == 0 {
+		t.Fatal("cap 3 let no answer through; test is vacuous")
+	}
+}
+
+// TestHTTPMaxDistance drives the cap through both transports: the GET
+// parameter and the JSON field, plus the 400 on a malformed value.
+func TestHTTPMaxDistance(t *testing.T) {
+	srv, o := newTestServer(t)
+	full, err := o.Query(0, 40, QueryOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(full.Distance, 1) {
+		t.Skip("pair 0-40 unreachable in the fixture graph")
+	}
+	var resp QueryResponse
+	getJSON(t, fmt.Sprintf("%s/query?u=0&v=40&max_distance=%v", srv.URL, full.Distance*2), http.StatusOK, &resp)
+	if !resp.Reachable || resp.Distance != full.Distance {
+		t.Fatalf("GET with generous cap: %+v, want distance %v", resp, full.Distance)
+	}
+	getJSON(t, fmt.Sprintf("%s/query?u=0&v=40&max_distance=%v", srv.URL, full.Distance/2), http.StatusOK, &resp)
+	if resp.Reachable || resp.Distance != -1 {
+		t.Fatalf("GET with tight cap: %+v, want unreachable", resp)
+	}
+	postJSON(t, srv.URL+"/query", QueryRequest{U: 0, V: 40, MaxDistance: full.Distance * 2}, http.StatusOK, &resp)
+	if !resp.Reachable || resp.Distance != full.Distance {
+		t.Fatalf("POST with generous cap: %+v, want distance %v", resp, full.Distance)
+	}
+	getJSON(t, srv.URL+"/query?u=0&v=40&max_distance=banana", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/query?u=0&v=40&max_distance=-2", http.StatusBadRequest, nil)
+}

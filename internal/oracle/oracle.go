@@ -76,6 +76,14 @@ type QueryOptions struct {
 	// NoCache bypasses the result cache in both directions: the answer is
 	// recomputed and not stored. Benchmarks use it to measure cold cost.
 	NoCache bool
+	// MaxDistance, when positive, caps the search radius: the answer is the
+	// true distance if it is at most MaxDistance (a pair exactly at the cap
+	// is reported) and +Inf otherwise, and the search never expands the
+	// spanner beyond that radius — on large graphs this turns a query from
+	// O(m) into the size of a ball around the source. Zero means unbounded;
+	// negative or NaN is rejected. The cap is part of the cache key, so
+	// capped and uncapped answers for the same pair never mix.
+	MaxDistance float64
 }
 
 // QueryResult is one served answer.
@@ -128,6 +136,12 @@ type Oracle struct {
 	mu    sync.RWMutex
 	m     *dynamic.Maintainer
 	epoch uint64
+	// csr is the flat-adjacency snapshot of the current spanner, rebuilt
+	// under the write lock by every successful Apply. Queries search it
+	// instead of the maintainer's slice-adjacency spanner: neighborhood scans
+	// run over one contiguous array, which is what keeps the per-query cost
+	// memory-bound rather than cache-miss-bound at n >= 10^5.
+	csr *graph.CSR
 
 	searchers sync.Pool // *sp.Searcher
 	cache     *resultCache
@@ -156,7 +170,7 @@ func New(g *graph.Graph, cfg Config) (*Oracle, error) {
 	mc := m.Config()
 	cfg.Mode = mc.Mode
 	cfg.StalenessBudget = mc.StalenessBudget
-	o := &Oracle{cfg: cfg, n: g.N(), m: m, epoch: 1}
+	o := &Oracle{cfg: cfg, n: g.N(), m: m, epoch: 1, csr: graph.BuildCSR(m.Spanner())}
 	hintN, hintM := g.N(), g.EdgeIDLimit()
 	o.searchers.New = func() any { return sp.NewSearcher(hintN, hintM) }
 	if cfg.CacheCapacity >= 0 {
@@ -182,8 +196,27 @@ func (o *Oracle) Epoch() uint64 {
 // budget and returns its canonical encoding for the cache key: sorted,
 // deduplicated element IDs (vertex IDs, or normalized endpoint pairs packed
 // as two int32s) in little-endian bytes. The empty fault set encodes as ""
-// with zero allocation.
+// with zero allocation. A positive MaxDistance appends a 9-byte suffix (tag
+// byte + Float64bits); fault encodings are 4- or 8-byte multiples, so the
+// suffixed lengths can never collide with an unsuffixed key.
 func (o *Oracle) canonFaults(opts QueryOptions) (string, error) {
+	key, err := o.canonFaultSet(opts)
+	if err != nil {
+		return "", err
+	}
+	if math.IsNaN(opts.MaxDistance) || opts.MaxDistance < 0 {
+		return "", fmt.Errorf("oracle: invalid MaxDistance %v", opts.MaxDistance)
+	}
+	if opts.MaxDistance > 0 && !math.IsInf(opts.MaxDistance, 1) {
+		var buf [9]byte
+		buf[0] = 0xFF
+		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(opts.MaxDistance))
+		key += string(buf[:])
+	}
+	return key, nil
+}
+
+func (o *Oracle) canonFaultSet(opts QueryOptions) (string, error) {
 	switch o.cfg.Mode {
 	case lbc.Vertex:
 		if len(opts.FaultEdges) > 0 {
@@ -287,7 +320,7 @@ func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 		o.misses.Add(1)
 	}
 
-	h := o.m.Spanner()
+	h := o.csr
 	s := o.searchers.Get().(*sp.Searcher)
 	s.Grow(h.N(), h.EdgeIDLimit())
 	s.ResetBlocked()
@@ -302,7 +335,19 @@ func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 			}
 		}
 	}
-	dist, pathV, _ := s.DistPath(h, u, v)
+	var (
+		dist  float64
+		pathV []int
+	)
+	// Both branches run unidirectional Dijkstra, so the served distance is
+	// the same left-to-right float sum CheckServedAnswer recomputes —
+	// bidirectional search would differ in the last ULP and fail
+	// verification.
+	if opts.MaxDistance > 0 {
+		dist, pathV, _ = s.DistPathWithin(h, u, v, opts.MaxDistance)
+	} else {
+		dist, pathV, _ = s.DistPath(h, u, v)
+	}
 	var path []int
 	if !math.IsInf(dist, 1) {
 		path = append(path, pathV...) // copy off the searcher's buffer
@@ -334,6 +379,7 @@ func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
 	if err := o.m.ApplyBatch(b); err != nil {
 		return o.epoch, fmt.Errorf("oracle: %w", err)
 	}
+	o.csr = graph.BuildCSR(o.m.Spanner())
 	o.epoch++
 	o.batches.Add(1)
 	return o.epoch, nil

@@ -1,0 +1,232 @@
+package sp
+
+import (
+	"math"
+
+	"ftspanner/internal/graph"
+)
+
+// Bidirectional point-to-point search: Dijkstra grown simultaneously from
+// both endpoints, stopping when the frontiers certify that no undiscovered
+// path can beat the best meeting point found so far. Each side settles
+// roughly the ball of half the u-v distance, so on graphs where ball volume
+// grows with radius (lattices, road networks: area ~ r^2) the work is about
+// 2·(d/2)^2 = d^2/2 — half of the unidirectional d^2 — and the advantage
+// widens with the growth rate. Unweighted graphs run the same machinery with
+// unit weights, where it is exact as well.
+//
+// The backward side owns its own scratch (distB, parents, stamps, heap),
+// grown lazily on first use so Searchers that never run bidirectional
+// queries pay nothing.
+
+// growBidi sizes the backward-side scratch for n vertices.
+func (s *Searcher) growBidi(n int) {
+	if n > len(s.wdistB) {
+		s.wdistB = growFloats(s.wdistB, n)
+		s.parentVB = growInts(s.parentVB, n)
+		s.parentEB = growInts(s.parentEB, n)
+		s.seenB = growStamps(s.seenB, n)
+		s.doneB = growStamps(s.doneB, n)
+		if cap(s.heapB) < n {
+			s.heapB = make([]heapItem, 0, n)
+		}
+	}
+}
+
+// DistBidi returns the u-v distance in g minus the fault mask, computed
+// bidirectionally. It agrees exactly with Dist on every input (weighted and
+// unweighted, including zero-weight edges).
+func (s *Searcher) DistBidi(g graph.View, u, v int) float64 {
+	d, _ := s.bidi(g, u, v)
+	return d
+}
+
+// DistPathBidi is DistBidi plus the path realizing the distance, spliced at
+// the meeting vertex of the two searches. An unreachable pair returns
+// (+Inf, nil, nil). The slices alias the Searcher's path buffers: valid
+// until the next call, copy to retain.
+func (s *Searcher) DistPathBidi(g graph.View, u, v int) (dist float64, vertices, edgeIDs []int) {
+	d, meet := s.bidi(g, u, v)
+	if math.IsInf(d, 1) {
+		return Inf, nil, nil
+	}
+	if u == v {
+		s.pathV = append(s.pathV[:0], u)
+		return 0, s.pathV, nil
+	}
+	// Forward half: meet back to u via the forward tree, reversed into
+	// u..meet order.
+	pv := s.pathV[:0]
+	pe := s.pathE[:0]
+	for x := meet; x != -1; x = s.parentV[x] {
+		pv = append(pv, x)
+		if s.parentE[x] != -1 {
+			pe = append(pe, s.parentE[x])
+		}
+	}
+	for i, j := 0, len(pv)-1; i < j; i, j = i+1, j-1 {
+		pv[i], pv[j] = pv[j], pv[i]
+	}
+	for i, j := 0, len(pe)-1; i < j; i, j = i+1, j-1 {
+		pe[i], pe[j] = pe[j], pe[i]
+	}
+	// Backward half: meet forward to v via the backward tree, already in
+	// path order.
+	for x := meet; s.parentVB[x] != -1; x = s.parentVB[x] {
+		pv = append(pv, s.parentVB[x])
+		pe = append(pe, s.parentEB[x])
+	}
+	s.pathV, s.pathE = pv, pe
+	return d, pv, pe
+}
+
+// bidi runs the bidirectional search and returns the distance and the
+// meeting vertex (-1 when unreachable; u when u == v).
+func (s *Searcher) bidi(g graph.View, u, v int) (float64, int) {
+	s.Grow(g.N(), g.EdgeIDLimit())
+	s.growBidi(g.N())
+	if u == v {
+		if s.VertexBlocked(u) {
+			return Inf, -1
+		}
+		return 0, u
+	}
+	s.bumpSearch()
+	if s.VertexBlocked(u) || s.VertexBlocked(v) {
+		return Inf, -1
+	}
+	e := s.epoch
+	s.seen[u] = e
+	s.wdist[u] = 0
+	s.parentV[u] = -1
+	s.parentE[u] = -1
+	s.seenB[v] = e
+	s.wdistB[v] = 0
+	s.parentVB[v] = -1
+	s.parentEB[v] = -1
+	hF := s.heap[:0]
+	hB := s.heapB[:0]
+	hF = heapPush(hF, heapItem{v: u, d: 0})
+	hB = heapPush(hB, heapItem{v: v, d: 0})
+
+	best := Inf
+	meet := -1
+	for {
+		// Drop stale (already settled) heap tops so the minima below are
+		// honest lower bounds on the next label each side can settle.
+		for len(hF) > 0 && s.done[hF[0].v] == e {
+			_, hF = heapPop(hF)
+		}
+		for len(hB) > 0 && s.doneB[hB[0].v] == e {
+			_, hB = heapPop(hB)
+		}
+		topF, topB := Inf, Inf
+		if len(hF) > 0 {
+			topF = hF[0].d
+		}
+		if len(hB) > 0 {
+			topB = hB[0].d
+		}
+		// Any path still undiscovered leaves the settled forward region at
+		// cost >= topF and enters the settled backward region at cost >=
+		// topB, so once topF+topB can't beat best, best is the distance.
+		// This also terminates exhausted searches: both minima default to
+		// +Inf.
+		if topF+topB >= best {
+			break
+		}
+		if topF <= topB {
+			var it heapItem
+			it, hF = heapPop(hF)
+			x := it.v
+			s.done[x] = e
+			dx := s.wdist[x]
+			for _, he := range g.Adj(x) {
+				if s.EdgeBlocked(he.ID) || s.VertexBlocked(he.To) || s.done[he.To] == e {
+					continue
+				}
+				nd := dx + g.Weight(he.ID)
+				if s.seen[he.To] != e || nd < s.wdist[he.To] {
+					s.seen[he.To] = e
+					s.wdist[he.To] = nd
+					s.parentV[he.To] = x
+					s.parentE[he.To] = he.ID
+					hF = heapPush(hF, heapItem{v: he.To, d: nd})
+					if s.seenB[he.To] == e {
+						if cand := nd + s.wdistB[he.To]; cand < best {
+							best = cand
+							meet = he.To
+						}
+					}
+				}
+			}
+		} else {
+			var it heapItem
+			it, hB = heapPop(hB)
+			x := it.v
+			s.doneB[x] = e
+			dx := s.wdistB[x]
+			for _, he := range g.Adj(x) {
+				if s.EdgeBlocked(he.ID) || s.VertexBlocked(he.To) || s.doneB[he.To] == e {
+					continue
+				}
+				nd := dx + g.Weight(he.ID)
+				if s.seenB[he.To] != e || nd < s.wdistB[he.To] {
+					s.seenB[he.To] = e
+					s.wdistB[he.To] = nd
+					s.parentVB[he.To] = x
+					s.parentEB[he.To] = he.ID
+					hB = heapPush(hB, heapItem{v: he.To, d: nd})
+					if s.seen[he.To] == e {
+						if cand := nd + s.wdist[he.To]; cand < best {
+							best = cand
+							meet = he.To
+						}
+					}
+				}
+			}
+		}
+	}
+	s.heap, s.heapB = hF, hB
+	return best, meet
+}
+
+// heapPush / heapPop are the Searcher's binary min-heap on an explicit
+// slice, shared by the forward and backward queues.
+func heapPush(h []heapItem, it heapItem) []heapItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].d <= h[i].d {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []heapItem) (heapItem, []heapItem) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].d < h[small].d {
+			small = l
+		}
+		if r < len(h) && h[r].d < h[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
+}

@@ -1,0 +1,68 @@
+package sp
+
+import (
+	"math"
+
+	"ftspanner/internal/graph"
+)
+
+// Bounded-radius queries: the capped semantics of an oracle query with a
+// distance budget. DistWithin(g, u, v, R) equals Dist(g, u, v) whenever that
+// distance is at most R (a target exactly at the bound is reached) and +Inf
+// otherwise — but the search never expands a label beyond R, so on a graph
+// whose balls of radius R are small the cost is the ball size, not O(n+m).
+// This is what keeps per-query work local on million-node graphs.
+
+// hopBound converts a weighted radius to the equivalent BFS hop budget on a
+// unit-weight graph.
+func hopBound(radius float64) int {
+	if radius < 0 {
+		return -1
+	}
+	if radius >= float64(math.MaxInt64) {
+		return math.MaxInt
+	}
+	return int(radius)
+}
+
+// DistWithin returns the u-v distance in g minus the fault mask if it is at
+// most radius, and +Inf otherwise. Weighted graphs use a radius-pruned
+// Dijkstra; unweighted graphs use a hop-bounded BFS.
+func (s *Searcher) DistWithin(g graph.View, u, v int, radius float64) float64 {
+	s.Grow(g.N(), g.EdgeIDLimit())
+	if u == v {
+		if s.VertexBlocked(u) || radius < 0 {
+			return Inf
+		}
+		return 0
+	}
+	if g.Weighted() {
+		if math.IsNaN(radius) || radius < 0 {
+			return Inf
+		}
+		s.dijkstra(g, u, v, radius)
+		return s.WeightTo(v)
+	}
+	s.bfs(g, u, hopBound(radius), v)
+	if d := s.HopDistTo(v); d != Unreachable {
+		return float64(d)
+	}
+	return Inf
+}
+
+// DistPathWithin is DistWithin plus the path realizing the distance. An
+// out-of-radius or unreachable pair returns (+Inf, nil, nil). The slices
+// alias the Searcher's path buffers: valid until the next call, copy to
+// retain.
+func (s *Searcher) DistPathWithin(g graph.View, u, v int, radius float64) (dist float64, vertices, edgeIDs []int) {
+	d := s.DistWithin(g, u, v, radius)
+	if math.IsInf(d, 1) {
+		return Inf, nil, nil
+	}
+	if u == v {
+		s.pathV = append(s.pathV[:0], u)
+		return 0, s.pathV, nil
+	}
+	pv, pe, _ := s.PathTo(v)
+	return d, pv, pe
+}

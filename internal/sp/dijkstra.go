@@ -49,7 +49,7 @@ func (q *pq) Pop() interface{} {
 // On unweighted graphs all weights are 1, so it agrees with BFS.
 //
 // If src is blocked every vertex is unreachable (distance +Inf).
-func Dijkstra(g *graph.Graph, src int, blocked Blocked) DijkstraResult {
+func Dijkstra(g graph.View, src int, blocked Blocked) DijkstraResult {
 	n := g.N()
 	res := DijkstraResult{
 		Dist:    make([]float64, n),
@@ -91,7 +91,7 @@ func Dijkstra(g *graph.Graph, src int, blocked Blocked) DijkstraResult {
 
 // Dist returns the weighted shortest-path distance between u and v in
 // g \ blocked, or +Inf if unreachable.
-func Dist(g *graph.Graph, u, v int, blocked Blocked) float64 {
+func Dist(g graph.View, u, v int, blocked Blocked) float64 {
 	if u == v {
 		if blocked.Vertex(u) {
 			return Inf

@@ -53,6 +53,16 @@ type Searcher struct {
 	queue []int      // BFS ring buffer, at most one entry per vertex
 	heap  []heapItem // Dijkstra priority queue (lazy deletion)
 
+	// Backward-side scratch for bidirectional search (see bidi.go), grown
+	// lazily by growBidi so one-directional Searchers never allocate it.
+	// The stamp arrays share the search epoch.
+	wdistB   []float64
+	parentVB []int
+	parentEB []int
+	seenB    []uint32
+	doneB    []uint32
+	heapB    []heapItem
+
 	// Fault mask: vertex u (edge id) is blocked iff the stamp equals
 	// blockEpoch, so ResetBlocked is O(1).
 	blockV     []uint32
@@ -142,6 +152,8 @@ func (s *Searcher) bumpSearch() {
 	if s.epoch == 0 {
 		clear(s.seen)
 		clear(s.done)
+		clear(s.seenB)
+		clear(s.doneB)
 		s.epoch = 1
 	}
 }
@@ -180,21 +192,21 @@ func (s *Searcher) EdgeBlocked(id int) bool { return s.blockE[id] == s.blockEpoc
 
 // BFS computes hop distances from src in g minus the Searcher's fault mask.
 // Read results with HopDistTo.
-func (s *Searcher) BFS(g *graph.Graph, src int) {
+func (s *Searcher) BFS(g graph.View, src int) {
 	s.Grow(g.N(), g.EdgeIDLimit())
 	s.bfs(g, src, math.MaxInt, -1)
 }
 
 // BFSBounded is BFS truncated at maxHops, exactly like the package-level
 // BFSBounded: vertices farther than maxHops stay Unreachable.
-func (s *Searcher) BFSBounded(g *graph.Graph, src, maxHops int) {
+func (s *Searcher) BFSBounded(g graph.View, src, maxHops int) {
 	s.Grow(g.N(), g.EdgeIDLimit())
 	s.bfs(g, src, maxHops, -1)
 }
 
 // bfs runs a hop-bounded BFS; if target >= 0 it stops as soon as the target
 // is labeled (its distance and parents are final at that point).
-func (s *Searcher) bfs(g *graph.Graph, src, maxHops, target int) {
+func (s *Searcher) bfs(g graph.View, src, maxHops, target int) {
 	s.bumpSearch()
 	if s.VertexBlocked(src) {
 		return
@@ -242,7 +254,7 @@ func (s *Searcher) HopDistTo(v int) int {
 // HopDist runs a BFS bounded at maxHops from u and returns the hop distance
 // to v (Unreachable if none within the bound). The search stops early once
 // v is reached.
-func (s *Searcher) HopDist(g *graph.Graph, u, v, maxHops int) int {
+func (s *Searcher) HopDist(g graph.View, u, v, maxHops int) int {
 	s.Grow(g.N(), g.EdgeIDLimit())
 	if u == v {
 		if s.VertexBlocked(u) {
@@ -258,7 +270,7 @@ func (s *Searcher) HopDist(g *graph.Graph, u, v, maxHops int) int {
 // fault mask, if one exists. The returned slices alias the Searcher's path
 // buffers: they are valid until the next call and must be copied to be
 // retained.
-func (s *Searcher) PathWithin(g *graph.Graph, u, v, maxHops int) (vertices, edgeIDs []int, ok bool) {
+func (s *Searcher) PathWithin(g graph.View, u, v, maxHops int) (vertices, edgeIDs []int, ok bool) {
 	s.Grow(g.N(), g.EdgeIDLimit())
 	if u == v {
 		if s.VertexBlocked(u) {
@@ -305,7 +317,7 @@ func (s *Searcher) PathTo(v int) (vertices, edgeIDs []int, ok bool) {
 // together with the path's vertex sequence and edge IDs. An unreachable pair
 // returns (+Inf, nil, nil). Like PathWithin, the slices alias the Searcher's
 // path buffers and are valid only until the next call.
-func (s *Searcher) DistPath(g *graph.Graph, u, v int) (dist float64, vertices, edgeIDs []int) {
+func (s *Searcher) DistPath(g graph.View, u, v int) (dist float64, vertices, edgeIDs []int) {
 	s.Grow(g.N(), g.EdgeIDLimit())
 	if u == v {
 		if s.VertexBlocked(u) {
@@ -315,7 +327,7 @@ func (s *Searcher) DistPath(g *graph.Graph, u, v int) (dist float64, vertices, e
 		return 0, s.pathV, nil
 	}
 	if g.Weighted() {
-		s.dijkstra(g, u, v)
+		s.dijkstra(g, u, v, Inf)
 		if d := s.WeightTo(v); !math.IsInf(d, 1) {
 			pv, pe, _ := s.PathTo(v)
 			return d, pv, pe
@@ -332,9 +344,9 @@ func (s *Searcher) DistPath(g *graph.Graph, u, v int) (dist float64, vertices, e
 
 // Dijkstra computes weighted shortest-path distances from src in g minus
 // the fault mask. Read results with WeightTo.
-func (s *Searcher) Dijkstra(g *graph.Graph, src int) {
+func (s *Searcher) Dijkstra(g graph.View, src int) {
 	s.Grow(g.N(), g.EdgeIDLimit())
-	s.dijkstra(g, src, -1)
+	s.dijkstra(g, src, -1, Inf)
 }
 
 // WeightTo returns the weighted distance of v computed by the last Dijkstra
@@ -346,7 +358,10 @@ func (s *Searcher) WeightTo(v int) float64 {
 	return s.wdist[v]
 }
 
-func (s *Searcher) dijkstra(g *graph.Graph, src, target int) {
+// dijkstra runs Dijkstra from src; if target >= 0 it stops once the target
+// is settled, and labels exceeding radius are pruned (a vertex exactly at
+// the radius is still reached). radius = Inf disables the bound.
+func (s *Searcher) dijkstra(g graph.View, src, target int, radius float64) {
 	s.bumpSearch()
 	s.heap = s.heap[:0]
 	if s.VertexBlocked(src) {
@@ -374,6 +389,9 @@ func (s *Searcher) dijkstra(g *graph.Graph, src, target int) {
 				continue
 			}
 			nd := du + g.Weight(he.ID)
+			if nd > radius {
+				continue
+			}
 			if s.seen[he.To] != e || nd < s.wdist[he.To] {
 				s.seen[he.To] = e
 				s.wdist[he.To] = nd
@@ -389,7 +407,7 @@ func (s *Searcher) dijkstra(g *graph.Graph, src, target int) {
 // fault mask: weighted (Dijkstra) on weighted graphs, hop count (BFS)
 // otherwise, +Inf if unreachable. It agrees exactly with the package-level
 // Dist on both graph kinds.
-func (s *Searcher) Dist(g *graph.Graph, u, v int) float64 {
+func (s *Searcher) Dist(g graph.View, u, v int) float64 {
 	s.Grow(g.N(), g.EdgeIDLimit())
 	if u == v {
 		if s.VertexBlocked(u) {
@@ -398,7 +416,7 @@ func (s *Searcher) Dist(g *graph.Graph, u, v int) float64 {
 		return 0
 	}
 	if g.Weighted() {
-		s.dijkstra(g, u, v)
+		s.dijkstra(g, u, v, Inf)
 		return s.WeightTo(v)
 	}
 	s.bfs(g, u, math.MaxInt, v)

@@ -34,7 +34,7 @@ func (b Blocked) Edge(id int) bool { return b.E != nil && b.E[id] }
 
 // BlockVertices returns a Blocked mask for graph g failing exactly the given
 // vertices.
-func BlockVertices(g *graph.Graph, vs ...int) Blocked {
+func BlockVertices(g graph.View, vs ...int) Blocked {
 	mask := make([]bool, g.N())
 	for _, v := range vs {
 		mask[v] = true
@@ -45,7 +45,7 @@ func BlockVertices(g *graph.Graph, vs ...int) Blocked {
 // BlockEdges returns a Blocked mask for graph g failing exactly the given
 // edge IDs. The mask spans the full edge-ID space, so it stays in bounds on
 // graphs with free-listed holes from RemoveEdge.
-func BlockEdges(g *graph.Graph, ids ...int) Blocked {
+func BlockEdges(g graph.View, ids ...int) Blocked {
 	mask := make([]bool, g.EdgeIDLimit())
 	for _, id := range ids {
 		mask[id] = true
@@ -65,14 +65,14 @@ type BFSResult struct {
 // BFS computes hop distances from src in g \ blocked.
 //
 // If src itself is blocked, every vertex (including src) is unreachable.
-func BFS(g *graph.Graph, src int, blocked Blocked) BFSResult {
+func BFS(g graph.View, src int, blocked Blocked) BFSResult {
 	return BFSBounded(g, src, math.MaxInt, blocked)
 }
 
 // BFSBounded is BFS truncated at maxHops: vertices farther than maxHops keep
 // distance Unreachable. Truncation is what makes the LBC subroutine's
 // O((m+n)·α) bound hold with a hop budget t.
-func BFSBounded(g *graph.Graph, src int, maxHops int, blocked Blocked) BFSResult {
+func BFSBounded(g graph.View, src int, maxHops int, blocked Blocked) BFSResult {
 	n := g.N()
 	res := BFSResult{
 		Dist:    make([]int, n),
@@ -140,7 +140,7 @@ func reconstruct(reachable bool, parentV, parentE []int, v int) ([]int, []int, b
 
 // HopDist returns the number of edges on a shortest u-v path in g \ blocked,
 // or Unreachable.
-func HopDist(g *graph.Graph, u, v int, blocked Blocked) int {
+func HopDist(g graph.View, u, v int, blocked Blocked) int {
 	if u == v {
 		if blocked.Vertex(u) {
 			return Unreachable
@@ -153,7 +153,7 @@ func HopDist(g *graph.Graph, u, v int, blocked Blocked) int {
 // PathWithin returns a u-v path with at most maxHops edges in g \ blocked if
 // one exists. This is the inner query of Algorithm 2 (LBC): "run BFS to find
 // a path of length at most t from u to v in G \ F if one exists."
-func PathWithin(g *graph.Graph, u, v, maxHops int, blocked Blocked) (vertices, edgeIDs []int, ok bool) {
+func PathWithin(g graph.View, u, v, maxHops int, blocked Blocked) (vertices, edgeIDs []int, ok bool) {
 	if u == v {
 		if blocked.Vertex(u) {
 			return nil, nil, false
@@ -169,7 +169,7 @@ func PathWithin(g *graph.Graph, u, v, maxHops int, blocked Blocked) (vertices, e
 
 // Eccentricity returns the maximum hop distance from u to any vertex
 // reachable from u in g \ blocked (0 if u is isolated or blocked).
-func Eccentricity(g *graph.Graph, u int, blocked Blocked) int {
+func Eccentricity(g graph.View, u int, blocked Blocked) int {
 	res := BFS(g, u, blocked)
 	max := 0
 	for _, d := range res.Dist {
@@ -183,7 +183,7 @@ func Eccentricity(g *graph.Graph, u int, blocked Blocked) int {
 // HopDiameter returns the maximum eccentricity over all vertices, considering
 // only reachable pairs, and reports whether the graph (minus blocked) is
 // connected on its non-blocked vertices.
-func HopDiameter(g *graph.Graph) int {
+func HopDiameter(g graph.View) int {
 	diam := 0
 	for u := 0; u < g.N(); u++ {
 		if e := Eccentricity(g, u, Blocked{}); e > diam {

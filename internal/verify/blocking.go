@@ -20,7 +20,7 @@ type BlockingPair struct {
 //
 // Cycle enumeration is exponential in t; intended for the small t = 2k of
 // the Lemma 6 audit (t ≤ 8) on test-sized graphs.
-func CheckBlockingSet(h *graph.Graph, pairs []BlockingPair, t int) (ok bool, witness []int, err error) {
+func CheckBlockingSet(h graph.View, pairs []BlockingPair, t int) (ok bool, witness []int, err error) {
 	if h == nil {
 		return false, nil, fmt.Errorf("verify: nil graph")
 	}
@@ -73,7 +73,7 @@ func CheckBlockingSet(h *graph.Graph, pairs []BlockingPair, t int) (ok bool, wit
 // returns true, or nil. Each cycle is visited exactly once: the root is its
 // minimum vertex and the orientation is fixed by requiring the second
 // vertex to be smaller than the last.
-func forEachShortCycle(h *graph.Graph, maxLen int, fn func(vs, es []int) bool) []int {
+func forEachShortCycle(h graph.View, maxLen int, fn func(vs, es []int) bool) []int {
 	n := h.N()
 	onPath := make([]bool, n)
 	var vs, es []int

@@ -32,7 +32,7 @@ type ServedAnswer struct {
 // not equal the claimed distance. This is the trust-but-verify half of the
 // serving stack: the oracle's concurrency tests call it on every answer
 // returned under churn.
-func CheckServedAnswer(h *graph.Graph, a ServedAnswer) error {
+func CheckServedAnswer(h graph.View, a ServedAnswer) error {
 	if h == nil {
 		return fmt.Errorf("verify: nil snapshot")
 	}

@@ -20,7 +20,7 @@ import (
 // d_H of d_H/0). This matches the Verify* functions, whose per-edge
 // allowance t·w degenerates to 0 on a zero-weight edge, so any positive
 // detour in h \ F is a violation there too.
-func MaxStretch(g, h *graph.Graph, faultIDs []int, mode lbc.Mode) (float64, error) {
+func MaxStretch(g, h graph.View, faultIDs []int, mode lbc.Mode) (float64, error) {
 	ratios, err := pairStretches(g, h, faultIDs, mode, true)
 	if err != nil {
 		return 0, err
@@ -40,11 +40,11 @@ func MaxStretch(g, h *graph.Graph, faultIDs []int, mode lbc.Mode) (float64, erro
 // valid (2k-1)-spanner every value is at most 2k-1 (and d_{G\F} ≤ w makes
 // these the binding pairs). Zero-weight edges follow MaxStretch's
 // convention: 1 when h \ F keeps the pair at distance 0, +Inf otherwise.
-func EdgeStretches(g, h *graph.Graph, faultIDs []int, mode lbc.Mode) ([]float64, error) {
+func EdgeStretches(g, h graph.View, faultIDs []int, mode lbc.Mode) ([]float64, error) {
 	return pairStretches(g, h, faultIDs, mode, false)
 }
 
-func pairStretches(g, h *graph.Graph, faultIDs []int, mode lbc.Mode, allPairs bool) ([]float64, error) {
+func pairStretches(g, h graph.View, faultIDs []int, mode lbc.Mode, allPairs bool) ([]float64, error) {
 	if err := validateInputs(g, h, 1, 0); err != nil {
 		return nil, err
 	}

@@ -74,11 +74,11 @@ type Report struct {
 	// sequential early exit would — the counters report work actually done.
 }
 
-func validateInputs(g, h *graph.Graph, t float64, f int) error {
+func validateInputs(g, h graph.View, t float64, f int) error {
 	if g == nil || h == nil {
 		return fmt.Errorf("verify: nil graph")
 	}
-	if !h.IsSubgraphOf(g) {
+	if !graph.IsSubgraph(h, g) {
 		return fmt.Errorf("verify: h is not a subgraph of g")
 	}
 	if t < 1 {
@@ -95,7 +95,7 @@ func validateInputs(g, h *graph.Graph, t float64, f int) error {
 // For vertex faults the candidates are all vertices; for edge faults, all
 // edges of g. Cost is O(C(n, f)) fault sets, each verified in O(n·(m_h+n))
 // — use on small instances only.
-func Exhaustive(g, h *graph.Graph, t float64, f int, mode lbc.Mode) (Report, error) {
+func Exhaustive(g, h graph.View, t float64, f int, mode lbc.Mode) (Report, error) {
 	return ExhaustiveParallel(g, h, t, f, mode, 1)
 }
 
@@ -103,7 +103,7 @@ func Exhaustive(g, h *graph.Graph, t float64, f int, mode lbc.Mode) (Report, err
 // goroutines (workers <= 0 selects GOMAXPROCS), each with its own checker
 // and sp.Searcher. The report matches the sequential one: same OK, same
 // first violation, and identical counters whenever the spanner is valid.
-func ExhaustiveParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, workers int) (Report, error) {
+func ExhaustiveParallel(g, h graph.View, t float64, f int, mode lbc.Mode, workers int) (Report, error) {
 	var rep Report
 	if err := validateInputs(g, h, t, f); err != nil {
 		return rep, err
@@ -147,7 +147,7 @@ func ExhaustiveParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, work
 // every live edge ID. Enumerating live IDs (not the raw ID space) matters
 // on graphs with RemoveEdge holes: a dead ID in a fault set blocks nothing,
 // which would silently shrink the effective fault-set size.
-func faultCandidates(g *graph.Graph, mode lbc.Mode) []int {
+func faultCandidates(g graph.View, mode lbc.Mode) []int {
 	if mode == lbc.Edge {
 		return g.EdgeIDs()
 	}
@@ -162,7 +162,7 @@ func faultCandidates(g *graph.Graph, mode lbc.Mode) []int {
 // the empty fault set, always included). A returned violation is a definite
 // counterexample; OK means only that no violation was found among the
 // sampled sets.
-func Sampled(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *rand.Rand, trials int) (Report, error) {
+func Sampled(g, h graph.View, t float64, f int, mode lbc.Mode, rng *rand.Rand, trials int) (Report, error) {
 	return SampledParallel(g, h, t, f, mode, rng, trials, 1)
 }
 
@@ -173,7 +173,7 @@ func Sampled(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *rand.Rand,
 // path. With workers > 1 all trial sets are drawn from rng up front (the
 // sequential path stops drawing at the first violation), so the rng is left
 // in a different state when a violation exists.
-func SampledParallel(g, h *graph.Graph, t float64, f int, mode lbc.Mode, rng *rand.Rand, trials int, workers int) (Report, error) {
+func SampledParallel(g, h graph.View, t float64, f int, mode lbc.Mode, rng *rand.Rand, trials int, workers int) (Report, error) {
 	var rep Report
 	if err := validateInputs(g, h, t, f); err != nil {
 		return rep, err
@@ -250,7 +250,7 @@ type faultBatch struct {
 // the set the sequential scan would have flagged. stopAt carries that index
 // so workers skip sets that can no longer matter and the producer stops
 // enumerating past it.
-func checkSetsParallel(g, h *graph.Graph, t float64, mode lbc.Mode, workers int, gen func(emit func([]int) bool)) (Report, error) {
+func checkSetsParallel(g, h graph.View, t float64, mode lbc.Mode, workers int, gen func(emit func([]int) bool)) (Report, error) {
 	var rep Report
 	// Validate the checker inputs once, before spawning anything.
 	if _, err := newChecker(g, h, t, mode); err != nil {
@@ -334,7 +334,7 @@ func checkSetsParallel(g, h *graph.Graph, t float64, mode lbc.Mode, workers int,
 // CheckUnderFaults verifies the per-edge spanner condition for one explicit
 // fault set (vertex IDs or g-edge IDs per mode). It returns nil if the
 // condition holds and a *Violation otherwise.
-func CheckUnderFaults(g, h *graph.Graph, t float64, faultIDs []int, mode lbc.Mode) (*Violation, error) {
+func CheckUnderFaults(g, h graph.View, t float64, faultIDs []int, mode lbc.Mode) (*Violation, error) {
 	if err := validateInputs(g, h, t, 0); err != nil {
 		return nil, err
 	}
@@ -350,7 +350,7 @@ func CheckUnderFaults(g, h *graph.Graph, t float64, faultIDs []int, mode lbc.Mod
 // (g, h, t, mode): one searcher per graph, so fault masks and search
 // scratch are allocated once and reused for every fault set.
 type checker struct {
-	g, h     *graph.Graph
+	g, h     graph.View
 	t        float64
 	mode     lbc.Mode
 	hEdgeOf  []int // g edge ID -> h edge ID, or -1 (edge mode only)
@@ -358,7 +358,7 @@ type checker struct {
 	hopBound int // BFS bound for unweighted graphs
 }
 
-func newChecker(g, h *graph.Graph, t float64, mode lbc.Mode) (*checker, error) {
+func newChecker(g, h graph.View, t float64, mode lbc.Mode) (*checker, error) {
 	ck := &checker{
 		g: g, h: h, t: t, mode: mode,
 		sg: sp.NewSearcher(g.N(), g.EdgeIDLimit()),

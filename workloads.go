@@ -45,6 +45,21 @@ func PreferentialAttachmentGraph(rng *rand.Rand, n, attach int) (*Graph, error) 
 	return gen.BarabasiAlbert(rng, n, attach)
 }
 
+// LatticeGraph returns a road-network-like rows × cols grid with `shortcuts`
+// random long-range links; weighted gives streets uniform [1, 2) weights and
+// shortcuts 0.5–1.0× their Manhattan distance. O(n+m) — built for the
+// million-node tier.
+func LatticeGraph(rng *rand.Rand, rows, cols, shortcuts int, weighted bool) (*Graph, error) {
+	return gen.Lattice(rng, rows, cols, shortcuts, weighted)
+}
+
+// PowerLawGraph returns a Chung–Lu random graph whose expected degree
+// distribution follows a power law with the given exponent (> 2), scaled to
+// avgDeg. O(n+m) via skip sampling — built for the million-node tier.
+func PowerLawGraph(rng *rand.Rand, n int, avgDeg, exponent float64) (*Graph, error) {
+	return gen.PowerLaw(rng, n, avgDeg, exponent)
+}
+
 // UniformWeights returns a weighted copy of g with independent uniform
 // weights in [lo, hi).
 func UniformWeights(rng *rand.Rand, g *Graph, lo, hi float64) (*Graph, error) {
