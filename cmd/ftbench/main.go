@@ -15,10 +15,14 @@
 // churn experiment (batched insert/delete repair vs full rebuild on G(n,p)
 // and geometric workloads), the serve experiment (closed-loop load
 // generation against the concurrent query oracle: QPS, p50/p99 latency,
-// cache hit rate, hot-cached vs cold-uncached cost), and spanner sizes
-// against the Theorem 8 bound, and writes the snapshot as machine-readable
-// BENCH_core.json in the -out directory, so successive PRs can diff
-// performance.
+// cache hit rate, hot-cached vs cold-uncached cost), the serve_churn
+// experiment (the same query workload replayed churn-free and under
+// sustained concurrent Apply batches: p50/p99.9 both ways, the cache hit
+// rate immediately after a batch under sharded invalidation, and the
+// incremental PatchCSR cost per batch vs a full BuildCSR), and spanner
+// sizes against the Theorem 8 bound, and writes the snapshot as
+// machine-readable BENCH_core.json in the -out directory, so successive
+// PRs can diff performance.
 package main
 
 import (
@@ -138,6 +142,11 @@ func runJSON(cfg bench.Config, out string, stdout io.Writer) error {
 	for _, s := range res.Serve {
 		fmt.Fprintf(stdout, "serve %-8s n=%d %d clients: %8.0f qps, p50 %6.0f ns, p99 %8.0f ns, hit %4.1f%%, hot %5.0f ns vs cold %7.0f ns (%.1fx)\n",
 			s.Workload, s.N, s.Clients, s.QPS, s.P50Ns, s.P99Ns, 100*s.CacheHitRate, s.HotNsPerOp, s.ColdNsPerOp, s.HotSpeedup)
+	}
+	for _, sc := range res.ServeChurn {
+		fmt.Fprintf(stdout, "serve_churn n=%-8d %d clients, %d batches: p999 quiet %8.0f ns vs churn %8.0f ns (%.2fx), hit after batch %4.1f%%, patch %8.0f ns vs rebuild %8.0f ns (%.1fx)\n",
+			sc.N, sc.Clients, sc.ChurnBatches, sc.QuietP999Ns, sc.ChurnP999Ns, sc.P999ChurnOverQuiet,
+			100*sc.HitRateAfterBatch, sc.PatchNsPerBatch, sc.FullBuildNs, sc.PatchSpeedupVsFullBuild)
 	}
 	for _, sc := range res.Scale {
 		fmt.Fprintf(stdout, "scale %-9s n=%-8d gen %8.0f us, csr %8.0f us (%d MB), ingest %8.0f us",

@@ -2,8 +2,9 @@
 //
 // It builds an f-fault-tolerant (2k-1)-spanner of a graph (read from a file
 // in the package text format, or generated), wraps it in the concurrent
-// query oracle (internal/oracle: pooled searchers, epoch-stamped result
-// cache, RWMutex-composed churn), and exposes the JSON API:
+// query oracle (internal/oracle: lock-free RCU snapshot reads, per-partition
+// searcher pools, a partition-sharded epoch-stamped result cache that churn
+// batches invalidate only where they touched), and exposes the JSON API:
 //
 //	GET  /healthz                      liveness + current epoch
 //	GET  /stats                        query/cache/churn counters

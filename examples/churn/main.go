@@ -58,7 +58,7 @@ func main() {
 			queued[[2]int{u, v}] = true
 			batch.Insert = append(batch.Insert, ftspanner.EdgeUpdate{U: u, V: v})
 		}
-		if err := m.ApplyBatch(batch); err != nil {
+		if _, err := m.ApplyBatch(batch); err != nil {
 			log.Fatal(err)
 		}
 	}

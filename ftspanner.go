@@ -135,6 +135,13 @@ type Options struct {
 	// query-result cache. 0 selects the default (32768); negative disables
 	// caching. Every other entry point ignores it.
 	CacheCapacity int
+	// SnapshotRetain tunes NewOracle only: how many epoch snapshots the
+	// oracle keeps reachable for re-verification (Oracle.SnapshotAt), which
+	// is also how many epochs a cached answer may keep being served after
+	// the batch that produced it. 0 selects the default (8); 1 restricts
+	// serving to the head epoch. Each retained epoch pins O(n+m) memory.
+	// Every other entry point ignores it.
+	SnapshotRetain int
 }
 
 // normalizeMode maps the zero FaultMode to VertexFaults, so that the
@@ -274,6 +281,26 @@ type EdgeUpdate = dynamic.Update
 // before anything mutates.
 type UpdateBatch = dynamic.Batch
 
+// TouchedSet names the vertices whose adjacency changed and the edge-ID
+// slots that changed across one batch — the unit an incremental CSR patch
+// (PatchCSR) consumes.
+type TouchedSet = graph.Touched
+
+// UpdateDelta is Maintainer.ApplyBatch's account of what one batch moved:
+// the touched sets of the graph and the spanner, or Rebuilt when the
+// maintainer rebuilt the spanner from scratch and the spanner set is
+// meaningless.
+type UpdateDelta = dynamic.Delta
+
+// PatchCSR re-snapshots g in O(touched) instead of O(n+m): adjacency rows
+// and edge slots outside the touched set are block-copied from prev (an
+// earlier snapshot of the same graph), only the touched ones are re-read.
+// It validates what it cheaply can and errors rather than returning a
+// corrupt snapshot; callers fall back to SnapshotCSR.
+func PatchCSR(prev *CSR, g *Graph, t TouchedSet) (*CSR, error) {
+	return graph.PatchCSR(prev, g, t)
+}
+
 // NewMaintainer builds the spanner of g per opts (like Build, recording the
 // per-edge certificates) and returns a Maintainer that keeps it valid under
 // Maintainer.ApplyBatch updates. The graph is cloned: later batches never
@@ -294,11 +321,15 @@ func NewMaintainer(g *Graph, opts Options) (*Maintainer, error) {
 }
 
 // Oracle is a thread-safe query engine serving distance/path queries on a
-// maintained fault-tolerant spanner under per-query fault sets. Queries run
-// concurrently on pooled zero-allocation searchers against the current
-// spanner snapshot; hot answers come from an epoch-stamped result cache;
-// Oracle.Apply services churn batches and invalidates the cache in O(1) by
-// bumping the epoch. See NewOracle.
+// maintained fault-tolerant spanner under per-query fault sets. The read
+// path is lock-free RCU: queries load an atomically published immutable
+// snapshot and run entirely against it on pooled zero-allocation
+// searchers, so Oracle.Apply churn batches never block readers. Hot
+// answers come from a result cache sharded by vertex partition — a batch
+// invalidates only the shards owning vertices it touched, and surviving
+// entries are served labeled with the (possibly older) epoch that produced
+// them, re-verifiable through Oracle.SnapshotAt for as long as that epoch
+// is retained. See NewOracle.
 type Oracle = oracle.Oracle
 
 // QueryOptions carries one query's fault set (vertex IDs or edge endpoint
@@ -318,13 +349,15 @@ type OracleStats = oracle.Stats
 // NewOracle builds the F-fault-tolerant (2K-1)-spanner of g (recording
 // repair certificates, like NewMaintainer) and returns an Oracle serving
 // distance/path queries on it. g is cloned and never mutated. All Oracle
-// methods are safe for concurrent use: queries proceed in parallel and
-// compose with Oracle.Apply churn batches under an internal RWMutex.
+// methods are safe for concurrent use: queries, snapshots, and stats are
+// lock-free reads of the current published epoch, and Oracle.Apply
+// serializes churn batches on a writer-only mutex while readers keep
+// serving the previous epoch.
 //
 // For any fault set F of at most Options.F failures (of Options.Mode) and
 // any surviving pair, the served distance is at most 2K-1 times the true
-// distance in the faulted source graph — the spanner guarantee, delivered
-// as a service.
+// distance in the faulted source graph of the answer's epoch — the spanner
+// guarantee, delivered as a service.
 func NewOracle(g *Graph, opts Options) (*Oracle, error) {
 	return oracle.New(g, oracle.Config{
 		K:               opts.K,
@@ -332,6 +365,7 @@ func NewOracle(g *Graph, opts Options) (*Oracle, error) {
 		Mode:            opts.mode(),
 		StalenessBudget: opts.StalenessBudget,
 		CacheCapacity:   opts.CacheCapacity,
+		SnapshotRetain:  opts.SnapshotRetain,
 	})
 }
 

@@ -101,7 +101,7 @@ func runChurnPoint(rng *rand.Rand, workload string, g *graph.Graph, k, f, batche
 	}
 	start := time.Now()
 	for _, b := range sched.batches {
-		if err := m.ApplyBatch(b); err != nil {
+		if _, err := m.ApplyBatch(b); err != nil {
 			return pt, err
 		}
 	}

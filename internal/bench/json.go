@@ -41,6 +41,11 @@ type CoreBench struct {
 	// against the concurrent oracle under interleaved churn (see
 	// ServePoint).
 	Serve []ServePoint `json:"serve"`
+	// ServeChurn is the RCU serving series: the same closed-loop query
+	// workload measured churn-free and under sustained concurrent Apply
+	// batches, plus sharded-invalidation hit rates and PatchCSR-vs-rebuild
+	// cost per batch (see ServeChurnPoint).
+	ServeChurn []ServeChurnPoint `json:"serve_churn"`
 	// Scale is the million-node series: the pipeline (generate, CSR
 	// snapshot, streaming IO, spanner build, repair, query variants)
 	// measured stage by stage at n = 10⁴..10⁶ (see ScalePoint).
@@ -231,6 +236,13 @@ func RunCoreBench(cfg Config) (*CoreBench, error) {
 		return nil, err
 	}
 	out.Serve = serve
+
+	// RCU serving under sustained concurrent churn.
+	serveChurn, err := runServeChurnBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.ServeChurn = serveChurn
 
 	// Million-node scaling: the pipeline stage by stage per size point.
 	scale, err := runScaleBench(cfg)

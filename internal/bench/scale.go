@@ -154,7 +154,7 @@ func runScaleLattice(seed int64, n int, withSpanner, withRepair bool) (ScalePoin
 				e := m.Graph().Edge(edges[rng.Intn(len(edges))])
 				batch.Delete = append(batch.Delete, dynamic.Update{U: e.U, V: e.V})
 			}
-			if err := m.ApplyBatch(batch); err != nil {
+			if _, err := m.ApplyBatch(batch); err != nil {
 				return pt, err
 			}
 		}

@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/oracle"
+)
+
+// ServeChurnPoint measures the RCU serving claim on one lattice size: with
+// churn batches continuously rewriting one corner of the graph, query
+// latency and the cache must be indistinguishable from the churn-free
+// baseline everywhere else. Two client goroutines replay the identical
+// closed-loop workload for a fixed window twice — once quiet, once under
+// sustained concurrent Apply batches — and the point records both latency
+// profiles, the post-batch cache hit rate of probe pairs far from the
+// churn (sharded invalidation: > 0 means the batch did not cold-cache the
+// world), and the incremental PatchCSR cost against a measured full
+// BuildCSR of the same spanner.
+type ServeChurnPoint struct {
+	N              int    `json:"n"`
+	Side           int    `json:"side"`
+	M0             int    `json:"m0"`
+	SpannerM       int    `json:"spanner_m"`
+	K              int    `json:"k"`
+	F              int    `json:"f"`
+	Clients        int    `json:"clients"`
+	SnapshotRetain int    `json:"snapshot_retain"`
+	QuietQueries   int    `json:"quiet_queries"`
+	ChurnQueries   int    `json:"churn_queries"`
+	ChurnBatches   uint64 `json:"churn_batches"`
+
+	QuietP50Ns         float64 `json:"quiet_p50_ns"`
+	QuietP999Ns        float64 `json:"quiet_p999_ns"`
+	ChurnP50Ns         float64 `json:"churn_p50_ns"`
+	ChurnP999Ns        float64 `json:"churn_p999_ns"`
+	P999ChurnOverQuiet float64 `json:"p999_churn_over_quiet"`
+
+	HitRateAfterBatch float64 `json:"hit_rate_after_batch"`
+	ShardsInvalidated int     `json:"last_invalidated_shards"`
+	SnapshotSwapNs    int64   `json:"snapshot_swap_ns"`
+
+	// PatchNsPerBatch and FullBuildNs are measured back to back on the
+	// final spanner with the clients stopped (best of 3 each): the same
+	// batch-sized touched set patched into the previous CSR vs a from-
+	// scratch BuildCSR. PatchNsAvgLive is the in-flight average the oracle
+	// recorded while clients were competing for the CPU — on a small
+	// machine it includes scheduler preemption, which is why the speedup
+	// claim is computed from the controlled pair.
+	CSRPatches              uint64  `json:"csr_patches"`
+	CSRFullBuilds           uint64  `json:"csr_full_builds"`
+	PatchNsAvgLive          float64 `json:"patch_ns_avg_live"`
+	PatchNsPerBatch         float64 `json:"patch_ns_per_batch"`
+	FullBuildNs             float64 `json:"full_build_ns"`
+	PatchSpeedupVsFullBuild float64 `json:"patch_speedup_vs_full_build"`
+}
+
+// serveChurnWorkload is the deterministic per-client query mix: mostly
+// cached probe pairs in the far corner of the lattice, every 4th query an
+// uncached radius-capped search over a random local pair (the lookup
+// pattern MaxDistance exists for — far pairs would exhaust the whole
+// radius ball and throttle the sample count until p99.9 degenerates into
+// a max statistic). The same sequence runs in the quiet and churn phases,
+// so the two latency profiles differ only by what churn does to readers.
+type serveChurnWorkload struct {
+	o      *oracle.Oracle
+	probes []gen.Pair
+	misses []gen.Pair
+	cap    float64
+}
+
+func (w *serveChurnWorkload) run(deadline time.Time, lat *[]int64) error {
+	for i := 0; ; i++ {
+		if i%64 == 0 && time.Now().After(deadline) {
+			return nil
+		}
+		var (
+			p    gen.Pair
+			opts oracle.QueryOptions
+		)
+		if i%4 == 3 {
+			p = w.misses[i%len(w.misses)]
+			opts = oracle.QueryOptions{NoCache: true, MaxDistance: w.cap}
+		} else {
+			p = w.probes[i%len(w.probes)]
+			opts = oracle.QueryOptions{MaxDistance: w.cap}
+		}
+		t0 := time.Now()
+		_, err := w.o.Query(p.U, p.V, opts)
+		*lat = append(*lat, time.Since(t0).Nanoseconds())
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// runServeChurnPhase runs the workload on `clients` goroutines for one
+// window and returns the merged sorted latency list.
+func runServeChurnPhase(w *serveChurnWorkload, clients int, window time.Duration) ([]int64, error) {
+	runtime.GC() // both phases start from a clean heap
+	lats := make([][]int64, clients)
+	errs := make([]error, clients)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]int64, 0, 1<<18)
+			errs[c] = w.run(deadline, &lat)
+			lats[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []int64
+	for _, lat := range lats {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	if len(all) == 0 {
+		return nil, fmt.Errorf("bench: serve_churn phase recorded no queries")
+	}
+	return all, nil
+}
+
+func pctNs(sorted []int64, num, den int) float64 {
+	idx := len(sorted) * num / den
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx])
+}
+
+// serveChurnBatches returns the alternating insert/delete batches: a fixed
+// set of row-0 shortcut pairs (vertices 0..side-1, all in the lowest cache
+// partitions), toggled on and off forever. Churn therefore never leaves
+// the lattice's top edge, which is what lets the far probes prove sharded
+// invalidation. Pairs the random shortcut pass already connected are
+// skipped so the first insert batch cannot collide.
+func serveChurnBatches(g *graph.Graph, side int) (insert, del dynamic.Batch) {
+	for c := 0; c+2 < side && len(insert.Insert) < 8; c += 4 {
+		if g.HasEdge(c, c+2) {
+			continue
+		}
+		insert.Insert = append(insert.Insert, dynamic.Update{U: c, V: c + 2, W: 1})
+		del.Delete = append(del.Delete, dynamic.Update{U: c, V: c + 2})
+	}
+	return insert, del
+}
+
+func runServeChurnPoint(cfg Config, side, retain int, window time.Duration) (ServeChurnPoint, error) {
+	n := side * side
+	pt := ServeChurnPoint{N: n, Side: side, K: 2, F: 1, Clients: 2, SnapshotRetain: retain}
+	rng := rand.New(rand.NewSource(cfg.Seed + 400))
+	g, err := gen.Lattice(rng, side, side, n/20, false)
+	if err != nil {
+		return pt, err
+	}
+	pt.M0 = g.M()
+	o, err := oracle.New(g, oracle.Config{K: pt.K, F: pt.F, SnapshotRetain: retain})
+	if err != nil {
+		return pt, err
+	}
+	pt.SpannerM = o.Stats().SpannerM
+
+	// Probe pairs: short hops inside the far corner rows, radius-capped so
+	// even a cache miss is a small-ball search. Miss pairs: random local
+	// hops anywhere in the lattice, always uncached, same cap — the
+	// workload's steady search load.
+	base := (side - 2) * side
+	var probes []gen.Pair
+	for c := 0; c+3 < side && len(probes) < 64; c += 2 {
+		probes = append(probes, gen.Pair{U: base + c, V: base + c + 3})
+	}
+	misses := make([]gen.Pair, 0, 256)
+	for len(misses) < cap(misses) {
+		u := rng.Intn(n)
+		if u%side+3 < side {
+			misses = append(misses, gen.Pair{U: u, V: u + 3})
+		}
+	}
+	w := &serveChurnWorkload{o: o, probes: probes, misses: misses, cap: 16}
+	for _, p := range probes { // warm the probe entries
+		if _, err := o.Query(p.U, p.V, oracle.QueryOptions{MaxDistance: w.cap}); err != nil {
+			return pt, err
+		}
+	}
+
+	// Phase 1: churn-free baseline.
+	quiet, err := runServeChurnPhase(w, pt.Clients, window)
+	if err != nil {
+		return pt, err
+	}
+	pt.QuietQueries = len(quiet)
+	pt.QuietP50Ns = pctNs(quiet, 1, 2)
+	pt.QuietP999Ns = pctNs(quiet, 999, 1000)
+
+	// Phase 2: identical workload under sustained concurrent churn.
+	insertB, deleteB := serveChurnBatches(g, side)
+	if len(insertB.Insert) == 0 {
+		return pt, fmt.Errorf("bench: serve_churn n=%d: no free row-0 pairs to churn", n)
+	}
+	stop := make(chan struct{})
+	churnErr := make(chan error, 1)
+	var batches atomic.Uint64
+	go func() {
+		odd := false
+		for {
+			select {
+			case <-stop:
+				churnErr <- nil
+				return
+			default:
+			}
+			b := insertB
+			if odd {
+				b = deleteB
+			}
+			odd = !odd
+			t0 := time.Now()
+			if err := o.Apply(b); err != nil {
+				churnErr <- err
+				return
+			}
+			batches.Add(1)
+			// Adaptive pacing at ~50% writer duty: each batch is followed
+			// by a pause as long as the batch itself took, so "sustained"
+			// scales with what one Apply costs at this graph size instead
+			// of saturating a small machine with back-to-back batches.
+			pause := time.Since(t0)
+			if pause < 5*time.Millisecond {
+				pause = 5 * time.Millisecond
+			}
+			time.Sleep(pause)
+		}
+	}()
+	churn, err := runServeChurnPhase(w, pt.Clients, window)
+	close(stop)
+	if cerr := <-churnErr; err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return pt, err
+	}
+	pt.ChurnQueries = len(churn)
+	pt.ChurnBatches = batches.Load()
+	if pt.ChurnBatches == 0 {
+		return pt, fmt.Errorf("bench: serve_churn n=%d: no batch completed within the churn window", n)
+	}
+	pt.ChurnP50Ns = pctNs(churn, 1, 2)
+	pt.ChurnP999Ns = pctNs(churn, 999, 1000)
+	pt.P999ChurnOverQuiet = pt.ChurnP999Ns / pt.QuietP999Ns
+
+	// Sharded invalidation, measured deterministically: warm the probes
+	// under a fresh cache key (the cap is part of the key, so cap+1 entries
+	// were never touched during churn and are guaranteed to be cached at
+	// the current head epoch, not at whatever older epoch survived the
+	// phase), apply one more batch in the churn row, and count how many
+	// entries survive it. Partial invalidation means this stays near 1; the
+	// old global epoch bump would force 0.
+	hitCap := w.cap + 1
+	for _, p := range probes {
+		if _, err := o.Query(p.U, p.V, oracle.QueryOptions{MaxDistance: hitCap}); err != nil {
+			return pt, err
+		}
+	}
+	finalB := insertB
+	if batches.Load()%2 == 1 {
+		finalB = deleteB
+	}
+	if err := o.Apply(finalB); err != nil {
+		return pt, err
+	}
+	hits := 0
+	for _, p := range probes {
+		res, err := o.Query(p.U, p.V, oracle.QueryOptions{MaxDistance: hitCap})
+		if err != nil {
+			return pt, err
+		}
+		if res.CacheHit {
+			hits++
+		}
+	}
+	pt.HitRateAfterBatch = float64(hits) / float64(len(probes))
+
+	st := o.Stats()
+	pt.ShardsInvalidated = st.LastInvalidatedShards
+	pt.SnapshotSwapNs = st.SnapshotSwapNs
+	pt.CSRPatches = st.CSRPatches
+	pt.CSRFullBuilds = st.CSRFullBuilds
+	pt.PatchNsAvgLive = float64(st.CSRPatchNsAvg)
+	if st.CSRPatches == 0 {
+		return pt, fmt.Errorf("bench: serve_churn n=%d: no batch took the incremental PatchCSR path", n)
+	}
+
+	// Patch vs full rebuild, controlled: with every goroutine stopped,
+	// snapshot the final spanner, toggle one batch's worth of churn edges
+	// on the clone, and time PatchCSR against BuildCSR on identical state.
+	_, h, _ := o.Snapshot()
+	prev := graph.BuildCSR(h)
+	var touched graph.Touched
+	for _, up := range insertB.Insert {
+		if h.HasEdge(up.U, up.V) {
+			id, err := h.RemoveEdgeBetween(up.U, up.V)
+			if err != nil {
+				return pt, err
+			}
+			touched.EdgeIDs = append(touched.EdgeIDs, id)
+		} else {
+			id, err := h.AddEdgeW(up.U, up.V, 1)
+			if err != nil {
+				return pt, err
+			}
+			touched.EdgeIDs = append(touched.EdgeIDs, id)
+		}
+		touched.Vertices = append(touched.Vertices, up.U, up.V)
+	}
+	// Interleaved rounds, min of each: a single cold-cache run of either
+	// variant is dominated by page faults and GC state left over from the
+	// churn phase, so alternating them and keeping the per-variant minimum
+	// compares the two copies under identical heap conditions.
+	runtime.GC()
+	for i := 0; i < 7; i++ {
+		t0 := time.Now()
+		c, err := graph.PatchCSR(prev, h, touched)
+		elapsed := float64(time.Since(t0).Nanoseconds())
+		if err != nil {
+			return pt, err
+		}
+		if c.M() != h.M() {
+			return pt, fmt.Errorf("bench: serve_churn: patched snapshot diverged")
+		}
+		if pt.PatchNsPerBatch == 0 || elapsed < pt.PatchNsPerBatch {
+			pt.PatchNsPerBatch = elapsed
+		}
+		t0 = time.Now()
+		full := graph.BuildCSR(h)
+		elapsed = float64(time.Since(t0).Nanoseconds())
+		if full.M() != h.M() {
+			return pt, fmt.Errorf("bench: serve_churn: full rebuild diverged")
+		}
+		if pt.FullBuildNs == 0 || elapsed < pt.FullBuildNs {
+			pt.FullBuildNs = elapsed
+		}
+	}
+	pt.PatchSpeedupVsFullBuild = pt.FullBuildNs / pt.PatchNsPerBatch
+	return pt, nil
+}
+
+// runServeChurnBench produces the serve_churn[] series for BENCH_core.json:
+// quick mode measures the 10⁴ lattice; the full run adds 10⁵ and the 10⁶
+// headline point (with a shallow snapshot window, since each retained epoch
+// pins O(n+m) CSR memory at that size).
+func runServeChurnBench(cfg Config) ([]ServeChurnPoint, error) {
+	type job struct {
+		side, retain int
+		window       time.Duration
+	}
+	jobs := []job{{100, 8, 300 * time.Millisecond}}
+	if !cfg.Quick {
+		jobs = []job{
+			{100, 8, time.Second},
+			{317, 8, 2 * time.Second},
+			{1000, 2, 6 * time.Second},
+		}
+	}
+	var out []ServeChurnPoint
+	for _, j := range jobs {
+		pt, err := runServeChurnPoint(cfg, j.side, j.retain, j.window)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

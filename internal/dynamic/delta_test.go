@@ -1,0 +1,96 @@
+package dynamic_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+)
+
+// csrIdentical compares two CSR snapshots through the exported surface:
+// every adjacency row and every edge-ID slot, including dead free-list
+// slots. Any divergence means a Delta under-reported what a batch moved.
+func csrIdentical(t *testing.T, label string, got, want *graph.CSR) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() || got.Weighted() != want.Weighted() {
+		t.Fatalf("%s: header mismatch (n %d/%d, m %d/%d)", label, got.N(), want.N(), got.M(), want.M())
+	}
+	for u := 0; u < want.N(); u++ {
+		if !reflect.DeepEqual(got.Adj(u), want.Adj(u)) {
+			t.Fatalf("%s: adjacency row %d diverges: %v != %v", label, u, got.Adj(u), want.Adj(u))
+		}
+	}
+	if got.EdgeIDLimit() != want.EdgeIDLimit() {
+		t.Fatalf("%s: edge-ID limit %d != %d", label, got.EdgeIDLimit(), want.EdgeIDLimit())
+	}
+	for id := 0; id < want.EdgeIDLimit(); id++ {
+		if got.Edge(id) != want.Edge(id) {
+			t.Fatalf("%s: edge slot %d diverges: %+v != %+v", label, id, got.Edge(id), want.Edge(id))
+		}
+	}
+}
+
+// The Delta returned by ApplyBatch must be a complete account of what the
+// batch moved in both the graph and the spanner: patching the previous CSR
+// snapshots with it must reproduce a full BuildCSR exactly. This is the
+// contract the oracle's incremental snapshot path depends on — an
+// under-reported touched set there would silently serve a corrupt spanner.
+func TestDeltaPatchesCSRExactly(t *testing.T) {
+	for _, mode := range []lbc.Mode{lbc.Vertex, lbc.Edge} {
+		g := gridGraph(8, 8)
+		c := newChurnerFull(t, g, dynamic.Config{K: 2, F: 1, Mode: mode}, 42, 0)
+		prevG := graph.BuildCSR(c.m.Graph())
+		prevH := graph.BuildCSR(c.m.Spanner())
+		rebuilds := 0
+		for step := 0; step < 40; step++ {
+			c.batch(1+c.rng.Intn(3), 1+c.rng.Intn(3))
+			d := c.lastDelta
+
+			fullG := graph.BuildCSR(c.m.Graph())
+			patchedG, err := graph.PatchCSR(prevG, c.m.Graph(), d.Graph)
+			if err != nil {
+				t.Fatalf("mode %v step %d: graph patch: %v", mode, step, err)
+			}
+			csrIdentical(t, "graph", patchedG, fullG)
+			prevG = patchedG
+
+			fullH := graph.BuildCSR(c.m.Spanner())
+			if d.Rebuilt {
+				// After a from-scratch rebuild the spanner delta is
+				// meaningless; the oracle falls back to BuildCSR too.
+				rebuilds++
+				prevH = fullH
+				continue
+			}
+			patchedH, err := graph.PatchCSR(prevH, c.m.Spanner(), d.Spanner)
+			if err != nil {
+				t.Fatalf("mode %v step %d: spanner patch: %v", mode, step, err)
+			}
+			csrIdentical(t, "spanner", patchedH, fullH)
+			prevH = patchedH
+		}
+		if rebuilds == 40 {
+			t.Fatalf("mode %v: every batch triggered a rebuild; incremental path never exercised", mode)
+		}
+	}
+}
+
+// gridGraph builds a w x h lattice, a convenient connected testbed with
+// plenty of redundant paths for churn.
+func gridGraph(w, h int) *graph.Graph {
+	g := graph.New(w * h)
+	at := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.MustAddEdge(at(x, y), at(x+1, y))
+			}
+			if y+1 < h {
+				g.MustAddEdge(at(x, y), at(x, y+1))
+			}
+		}
+	}
+	return g
+}

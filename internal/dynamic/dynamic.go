@@ -95,6 +95,27 @@ type Stats struct {
 	FullBuilds                    int
 }
 
+// Delta reports what one committed batch changed, in the vocabulary of
+// graph.PatchCSR: the adjacency rows and edge-ID slots a snapshot consumer
+// must re-read. The serving layer (internal/oracle) feeds these straight
+// into incremental CSR patches and shard-targeted cache invalidation — the
+// whole point of returning them is that ApplyBatch already knows exactly
+// what it moved, so the layers above never have to diff graphs.
+type Delta struct {
+	// Rebuilt reports that this batch fell past the staleness budget and the
+	// spanner was rebuilt from scratch: Spanner below is meaningless (every
+	// spanner row may have changed) and consumers must resnapshot H in full.
+	// Graph stays exact either way — the graph itself is never rebuilt.
+	Rebuilt bool
+	// Graph is the touched set of the maintained graph: endpoints and ID
+	// slots of every edge the batch deleted or inserted.
+	Graph graph.Touched
+	// Spanner is the touched set of the maintained spanner H: endpoints and
+	// ID slots of spanner edges removed by deletions or added by decisions
+	// (new edges and witness repairs that flipped to YES).
+	Spanner graph.Touched
+}
+
 // Update names one edge endpoint pair, with a weight for insertions into
 // weighted graphs (ignored on deletion; 0 means weight 1 on unweighted
 // graphs, and is an error on weighted ones per graph.AddEdgeW's rules).
@@ -294,11 +315,14 @@ func insertWeight(g *graph.Graph, ins Update) float64 {
 // insertions. On return (without error) the maintained spanner again
 // satisfies the f-fault-tolerant (2k-1)-spanner property for the updated
 // graph — by repair when few certificates broke, by a counted full rebuild
-// otherwise. A validation error leaves graph and spanner unchanged.
-func (m *Maintainer) ApplyBatch(b Batch) error {
+// otherwise — and the returned Delta names exactly what moved, so snapshot
+// consumers can patch rather than rebuild their copies. A validation error
+// leaves graph and spanner unchanged (and the Delta empty).
+func (m *Maintainer) ApplyBatch(b Batch) (Delta, error) {
+	var delta Delta
 	deleteIDs, err := m.validateBatch(b)
 	if err != nil {
-		return err
+		return delta, err
 	}
 
 	// Phase 1: structural deletions, collecting repair candidates from the
@@ -307,11 +331,16 @@ func (m *Maintainer) ApplyBatch(b Batch) error {
 	removedHids := make(map[int]bool)
 	for _, gid := range deleteIDs {
 		st := m.state[gid]
+		e := m.g.Edge(gid)
+		delta.Graph.Vertices = append(delta.Graph.Vertices, e.U, e.V)
+		delta.Graph.EdgeIDs = append(delta.Graph.EdgeIDs, gid)
 		if st.inH {
 			m.stats.DeletedFromH++
 			removedHids[st.hID] = true
 			candidates = append(candidates, m.users[st.hID]...)
 			m.users[st.hID] = nil
+			delta.Spanner.Vertices = append(delta.Spanner.Vertices, e.U, e.V)
+			delta.Spanner.EdgeIDs = append(delta.Spanner.EdgeIDs, st.hID)
 			if err := m.h.RemoveEdge(st.hID); err != nil {
 				panic(fmt.Sprintf("dynamic: spanner desync: %v", err))
 			}
@@ -358,6 +387,9 @@ func (m *Maintainer) ApplyBatch(b Batch) error {
 		}
 		m.state[gid] = edgeState{}
 		insertIDs = append(insertIDs, gid)
+		e := m.g.Edge(gid)
+		delta.Graph.Vertices = append(delta.Graph.Vertices, e.U, e.V)
+		delta.Graph.EdgeIDs = append(delta.Graph.EdgeIDs, gid)
 	}
 	m.stats.Inserted += len(insertIDs)
 	m.stats.Batches++
@@ -365,15 +397,17 @@ func (m *Maintainer) ApplyBatch(b Batch) error {
 	// Phase 4: too much damage — rebuild once instead of repairing.
 	if len(stale) > 0 && float64(len(stale)) > m.budget*float64(m.g.M()) {
 		m.stats.RebuildBatches++
+		delta.Rebuilt = true
+		delta.Spanner = graph.Touched{}
 		if err := m.rebuild(); err != nil {
-			return err
+			return delta, err
 		}
 		for _, gid := range insertIDs {
 			if m.state[gid].inH {
 				m.stats.InsertedIntoH++
 			}
 		}
-		return nil
+		return delta, nil
 	}
 	if len(stale) > 0 {
 		m.stats.RepairBatches++
@@ -384,23 +418,38 @@ func (m *Maintainer) ApplyBatch(b Batch) error {
 	// weighted graphs). Decisions run against the current spanner — capped
 	// at the edge's weight on weighted graphs — so a NO answer yields a
 	// valid fresh witness and a YES answer grows the spanner, which never
-	// harms other certificates.
+	// harms other certificates. Decisions that flip an edge into H extend
+	// the spanner delta; NO answers replace witnesses without moving H.
 	m.sortByWeight(stale)
 	m.sortByWeight(insertIDs)
 	for _, gid := range stale {
 		if err := m.decide(gid); err != nil {
-			return err
+			return delta, err
 		}
+		m.recordIfEnteredH(&delta, gid)
 	}
 	for _, gid := range insertIDs {
 		if err := m.decide(gid); err != nil {
-			return err
+			return delta, err
 		}
 		if m.state[gid].inH {
 			m.stats.InsertedIntoH++
 		}
+		m.recordIfEnteredH(&delta, gid)
 	}
-	return nil
+	return delta, nil
+}
+
+// recordIfEnteredH extends the spanner delta when the decision for graph
+// edge gid added it to H.
+func (m *Maintainer) recordIfEnteredH(delta *Delta, gid int) {
+	st := m.state[gid]
+	if !st.inH {
+		return
+	}
+	e := m.g.Edge(gid)
+	delta.Spanner.Vertices = append(delta.Spanner.Vertices, e.U, e.V)
+	delta.Spanner.EdgeIDs = append(delta.Spanner.EdgeIDs, st.hID)
 }
 
 // sortByWeight orders graph edge IDs by nondecreasing weight, ties by ID —

@@ -31,6 +31,8 @@ type churner struct {
 	live map[[2]int]float64
 	n    int
 	wmax float64 // > 0 means weighted inserts draw from (0, wmax]
+
+	lastDelta dynamic.Delta // from the most recent batch
 }
 
 func newChurnerFull(t *testing.T, g *graph.Graph, cfg dynamic.Config, seed int64, wmax float64) *churner {
@@ -74,9 +76,11 @@ func (c *churner) batch(dels, ins int) dynamic.Batch {
 		b.Insert = append(b.Insert, dynamic.Update{U: key[0], V: key[1], W: w})
 		c.live[key] = w
 	}
-	if err := c.m.ApplyBatch(b); err != nil {
+	d, err := c.m.ApplyBatch(b)
+	if err != nil {
 		c.t.Fatalf("ApplyBatch: %v", err)
 	}
+	c.lastDelta = d
 	return b
 }
 
@@ -271,7 +275,7 @@ func TestDynamicDeleteSpannerEdgeRepairs(t *testing.T) {
 		if pick == nil {
 			t.Fatal("spanner ran out of edges")
 		}
-		if err := m.ApplyBatch(dynamic.Batch{Delete: []dynamic.Update{{U: pick.U, V: pick.V}}}); err != nil {
+		if _, err := m.ApplyBatch(dynamic.Batch{Delete: []dynamic.Update{{U: pick.U, V: pick.V}}}); err != nil {
 			t.Fatalf("delete batch: %v", err)
 		}
 		rep, err := verify.Exhaustive(m.Graph(), m.Spanner(), 3, 1, lbc.Vertex)
@@ -342,7 +346,7 @@ func TestDynamicBatchValidation(t *testing.T) {
 		{Delete: []dynamic.Update{{U: 2, V: 3}}, Insert: []dynamic.Update{{U: 0, V: 0}}}, // one bad op poisons all
 	}
 	for i, b := range bad {
-		if err := m.ApplyBatch(b); err == nil {
+		if _, err := m.ApplyBatch(b); err == nil {
 			t.Errorf("batch %d: expected error", i)
 		}
 	}
@@ -357,7 +361,7 @@ func TestDynamicBatchValidation(t *testing.T) {
 		Delete: []dynamic.Update{{U: 0, V: 1}},
 		Insert: []dynamic.Update{{U: 0, V: 1}},
 	}
-	if err := m.ApplyBatch(ok); err != nil {
+	if _, err := m.ApplyBatch(ok); err != nil {
 		t.Errorf("delete+reinsert batch: %v", err)
 	}
 }
@@ -375,7 +379,7 @@ func TestDynamicCallerGraphUntouched(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := g.Edges()[0]
-	if err := m.ApplyBatch(dynamic.Batch{Delete: []dynamic.Update{{U: e.U, V: e.V}}}); err != nil {
+	if _, err := m.ApplyBatch(dynamic.Batch{Delete: []dynamic.Update{{U: e.U, V: e.V}}}); err != nil {
 		t.Fatal(err)
 	}
 	if g.M() != before {

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Touched names the parts of a mutable graph that changed since a CSR
+// snapshot of it was taken: the vertices whose adjacency lists changed and
+// the edge-ID slots whose Edge record changed. It is the currency between
+// dynamic maintenance (which knows exactly what a batch moved) and PatchCSR
+// (which reuses everything else from the previous snapshot).
+//
+// Vertices must include both endpoints of every edge added or removed —
+// note that RemoveEdge swap-removes adjacency entries, so a removal changes
+// the adjacency *order* of both endpoints, not just their degree. EdgeIDs
+// must include every inserted, deleted, or reused (free-list) edge-ID slot.
+// Duplicates and unsorted order are fine; an incomplete set is not (the
+// patched snapshot would silently diverge — PatchCSR's degree-sum check
+// catches most such bugs, and the dynamic package's delta tests pin the
+// rest).
+type Touched struct {
+	Vertices []int
+	EdgeIDs  []int
+}
+
+// PatchCSR snapshots g into CSR form like BuildCSR, but in
+// O(n + |touched rows| + m/copy) instead of walking all n adjacency slices:
+// every adjacency row not named in t.Vertices is block-copied from prev (an
+// earlier snapshot of the same graph) in long contiguous spans, and only the
+// touched rows are re-read from g. The edge table is copied from prev and
+// re-read only at the slots named in t.EdgeIDs.
+//
+// prev must be a snapshot of the same graph lineage: same vertex count and
+// weightedness, and identical to g everywhere outside t. PatchCSR validates
+// what it cheaply can — the ranges of t and that the patched degree sum
+// matches 2·M() — and returns an error rather than a corrupt snapshot when
+// a check fails; callers fall back to a full BuildCSR.
+func PatchCSR(prev *CSR, g *Graph, t Touched) (*CSR, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("graph: patch of nil CSR")
+	}
+	n := g.N()
+	if prev.N() != n {
+		return nil, fmt.Errorf("graph: patch across vertex counts (%d -> %d)", prev.N(), n)
+	}
+	if prev.weighted != g.weighted {
+		return nil, fmt.Errorf("graph: patch across weightedness")
+	}
+	if limit := g.EdgeIDLimit(); len(prev.edges) > limit {
+		return nil, fmt.Errorf("graph: patch shrank the edge-ID space (%d -> %d)", len(prev.edges), limit)
+	}
+	touched := append([]int(nil), t.Vertices...)
+	sort.Ints(touched)
+	uniq := touched[:0]
+	for i, u := range touched {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("graph: patch vertex %d out of range [0,%d)", u, n)
+		}
+		if i > 0 && u == touched[i-1] {
+			continue
+		}
+		uniq = append(uniq, u)
+	}
+	touched = uniq
+
+	c := &CSR{
+		weighted: g.weighted,
+		m:        g.M(),
+		offsets:  make([]int, n+1),
+	}
+	// Offsets shift only inside [first touched, last touched]: before it
+	// they are identical to prev's (one memcpy), after it they differ by
+	// the constant degree delta of the whole patch (one add-loop, or a
+	// second memcpy when the batch is degree-neutral). Only the touched
+	// region pays the row-by-row walk.
+	if len(touched) == 0 {
+		copy(c.offsets, prev.offsets)
+	} else {
+		first, last := touched[0], touched[len(touched)-1]
+		copy(c.offsets[:first+1], prev.offsets[:first+1])
+		total, ti := prev.offsets[first], 0
+		for u := first; u <= last; u++ {
+			c.offsets[u] = total
+			if ti < len(touched) && touched[ti] == u {
+				total += len(g.adj[u])
+				ti++
+			} else {
+				total += prev.offsets[u+1] - prev.offsets[u]
+			}
+		}
+		if delta := total - prev.offsets[last+1]; delta == 0 {
+			copy(c.offsets[last+1:], prev.offsets[last+1:])
+		} else {
+			for u := last + 1; u <= n; u++ {
+				c.offsets[u] = prev.offsets[u] + delta
+			}
+		}
+	}
+	total := c.offsets[n]
+	if total != 2*c.m {
+		return nil, fmt.Errorf("graph: patched degree sum %d != 2m = %d (incomplete touched-vertex set?)", total, 2*c.m)
+	}
+
+	c.halves = make([]HalfEdge, total)
+	// Untouched rows between consecutive touched vertices are contiguous in
+	// both snapshots: one copy per span streams them instead of copying n
+	// separate per-vertex slices like BuildCSR.
+	copySpan := func(a, b int) { // vertices [a, b), all untouched
+		if a < b {
+			copy(c.halves[c.offsets[a]:c.offsets[b]], prev.halves[prev.offsets[a]:prev.offsets[b]])
+		}
+	}
+	last := 0
+	for _, u := range touched {
+		copySpan(last, u)
+		copy(c.halves[c.offsets[u]:c.offsets[u+1]], g.adj[u])
+		last = u + 1
+	}
+	copySpan(last, n)
+
+	limit := g.EdgeIDLimit()
+	c.edges = make([]Edge, limit)
+	copy(c.edges, prev.edges)
+	// Slots appended since prev are re-read wholesale: every one of them is
+	// new, whether or not the caller listed it.
+	for id := len(prev.edges); id < limit; id++ {
+		c.edges[id] = g.edges[id]
+	}
+	for _, id := range t.EdgeIDs {
+		if id < 0 || id >= limit {
+			return nil, fmt.Errorf("graph: patch edge ID %d out of range [0,%d)", id, limit)
+		}
+		c.edges[id] = g.edges[id]
+	}
+	return c, nil
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// csrEqual compares two snapshots field by field (internal test: the
+// exported surface is pinned separately by the View equivalence tests).
+func csrEqual(a, b *CSR) bool {
+	return a.weighted == b.weighted &&
+		a.m == b.m &&
+		reflect.DeepEqual(a.offsets, b.offsets) &&
+		reflect.DeepEqual(a.halves, b.halves) &&
+		reflect.DeepEqual(a.edges, b.edges)
+}
+
+// A randomized mutation walk: after every batch of adds/removes (tracking
+// the touched sets the way a maintainer would), PatchCSR must reproduce
+// BuildCSR exactly — offsets, flat adjacency, and the edge table including
+// dead free-list slots.
+func TestPatchCSRMatchesBuildCSR(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(731))
+		const n = 60
+		g := New(n)
+		if weighted {
+			g = NewWeighted(n)
+		}
+		// Seed with a random edge set.
+		for i := 0; i < 150; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			w := 1.0
+			if weighted {
+				w = rng.Float64() + 0.25
+			}
+			g.MustAddEdgeW(u, v, w)
+		}
+		prev := BuildCSR(g)
+		for step := 0; step < 60; step++ {
+			var tch Touched
+			// A batch of removals (exercises swap-remove reordering and the
+			// free list) ...
+			for d := 0; d < 1+rng.Intn(4) && g.M() > 0; d++ {
+				ids := g.EdgeIDs()
+				id := ids[rng.Intn(len(ids))]
+				e := g.Edge(id)
+				if err := g.RemoveEdge(id); err != nil {
+					t.Fatal(err)
+				}
+				tch.Vertices = append(tch.Vertices, e.U, e.V)
+				tch.EdgeIDs = append(tch.EdgeIDs, id)
+			}
+			// ... then insertions (some reuse freed slots, some grow the ID
+			// space).
+			for a := 0; a < 1+rng.Intn(4); a++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v || g.HasEdge(u, v) {
+					continue
+				}
+				w := 1.0
+				if weighted {
+					w = rng.Float64() + 0.25
+				}
+				id := g.MustAddEdgeW(u, v, w)
+				tch.Vertices = append(tch.Vertices, u, v)
+				tch.EdgeIDs = append(tch.EdgeIDs, id)
+			}
+			patched, err := PatchCSR(prev, g, tch)
+			if err != nil {
+				t.Fatalf("weighted=%v step %d: %v", weighted, step, err)
+			}
+			full := BuildCSR(g)
+			if !csrEqual(patched, full) {
+				t.Fatalf("weighted=%v step %d: patched snapshot diverges from BuildCSR", weighted, step)
+			}
+			prev = patched
+		}
+	}
+}
+
+// An empty touched set over an unchanged graph is the identity patch.
+func TestPatchCSRIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(30)
+	for i := 0; i < 60; i++ {
+		u, v := rng.Intn(30), rng.Intn(30)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	prev := BuildCSR(g)
+	patched, err := PatchCSR(prev, g, Touched{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csrEqual(patched, BuildCSR(g)) {
+		t.Fatal("identity patch diverges")
+	}
+}
+
+// PatchCSR must reject what it can detect rather than return a corrupt
+// snapshot: nil/mismatched prev, out-of-range touched elements, and an
+// incomplete touched-vertex set whose degree sum no longer adds up.
+func TestPatchCSRValidation(t *testing.T) {
+	g := New(10)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	prev := BuildCSR(g)
+
+	if _, err := PatchCSR(nil, g, Touched{}); err == nil {
+		t.Error("nil prev accepted")
+	}
+	if _, err := PatchCSR(prev, New(11), Touched{}); err == nil {
+		t.Error("vertex-count mismatch accepted")
+	}
+	if _, err := PatchCSR(prev, NewWeighted(10), Touched{}); err == nil {
+		t.Error("weightedness mismatch accepted")
+	}
+	if _, err := PatchCSR(prev, g, Touched{Vertices: []int{10}}); err == nil {
+		t.Error("out-of-range touched vertex accepted")
+	}
+	if _, err := PatchCSR(prev, g, Touched{EdgeIDs: []int{2}}); err == nil {
+		t.Error("out-of-range touched edge ID accepted")
+	}
+	// Mutate the graph but claim nothing was touched: the degree sum check
+	// must catch the lie.
+	g.MustAddEdge(4, 5)
+	if _, err := PatchCSR(prev, g, Touched{EdgeIDs: []int{2}}); err == nil {
+		t.Error("incomplete touched-vertex set accepted")
+	}
+}
+
+// Slots appended since the previous snapshot are picked up even when the
+// caller forgets to list them in EdgeIDs (the vertices still must be named).
+func TestPatchCSRNewSlotsImplicit(t *testing.T) {
+	g := New(8)
+	g.MustAddEdge(0, 1)
+	prev := BuildCSR(g)
+	g.MustAddEdge(2, 3)
+	patched, err := PatchCSR(prev, g, Touched{Vertices: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csrEqual(patched, BuildCSR(g)) {
+		t.Fatal("appended edge slot not picked up")
+	}
+}

@@ -1,14 +1,19 @@
 package oracle
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultCacheCapacity is the default total entry budget of the result
 // cache (Config.CacheCapacity = 0).
 const DefaultCacheCapacity = 1 << 15
 
-// cacheShards is the number of independently locked cache shards. Queries
-// hold the oracle's read lock while touching the cache, so many goroutines
-// hit it concurrently; sharding keeps them off one mutex.
+// cacheShards is the number of vertex partitions the cache (and the
+// searcher pools) are sharded into. A query's entry lives in the shard of
+// its source vertex's partition; a churn batch invalidates only the shards
+// whose partitions own touched vertices, so entries far from the churn
+// survive Apply.
 const cacheShards = 64
 
 // cacheKey identifies one cached answer: the (directed) endpoint pair plus
@@ -20,10 +25,12 @@ type cacheKey struct {
 	faults string
 }
 
-// cacheEntry is one cached answer, valid only while its epoch matches the
-// oracle's: ApplyBatch bumps the epoch, which invalidates every entry at
-// once without touching them (they are evicted lazily on lookup or by
-// capacity pressure).
+// cacheEntry is one cached answer stamped with the epoch that produced it.
+// Unlike a freshness cache, an entry does not die just because the epoch
+// moved on: a hit is served labeled with the entry's own (older) epoch, and
+// stays valid while (a) no churn batch has touched either endpoint's
+// partition since (the shard minEpoch check) and (b) the producing snapshot
+// is still retained for re-verification (the retention check).
 type cacheEntry struct {
 	epoch uint64
 	dist  float64
@@ -31,18 +38,25 @@ type cacheEntry struct {
 }
 
 type cacheShard struct {
+	// minEpoch is the oldest entry epoch this shard still serves: Apply
+	// raises it (on the shards owning touched vertices only) to the new
+	// epoch, wholesale-invalidating the shard's older entries in O(1)
+	// without walking them. Written under wmu, read lock-free by queries.
+	minEpoch atomic.Uint64
+
 	mu sync.Mutex
 	m  map[cacheKey]cacheEntry
 }
 
-// resultCache is a sharded, capacity-bounded map from query keys to
-// epoch-stamped answers.
+// resultCache is a capacity-bounded map from query keys to epoch-stamped
+// answers, sharded by source-vertex partition.
 type resultCache struct {
+	n        int // vertex count, for the partition map
 	perShard int // entry budget per shard
 	shards   [cacheShards]cacheShard
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity, n int) *resultCache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
@@ -50,41 +64,45 @@ func newResultCache(capacity int) *resultCache {
 	if perShard < 1 {
 		perShard = 1
 	}
-	c := &resultCache{perShard: perShard}
+	c := &resultCache{n: n, perShard: perShard}
 	for i := range c.shards {
 		c.shards[i].m = make(map[cacheKey]cacheEntry)
 	}
 	return c
 }
 
-// hash is FNV-1a over the key's fields; only the low bits select a shard.
-func (k cacheKey) hash() uint32 {
-	h := uint32(2166136261)
-	mix := func(b byte) {
-		h ^= uint32(b)
-		h *= 16777619
+// partition maps a vertex to its cache shard: contiguous vertex ranges, not
+// a hash — churn is usually local (a region of the graph), and contiguous
+// ranges let a batch's touched vertices concentrate in few shards instead
+// of spraying invalidation across all of them.
+func partition(u, n int) int {
+	if n <= 0 {
+		return 0
 	}
-	for shift := 0; shift < 32; shift += 8 {
-		mix(byte(k.u >> shift))
-		mix(byte(k.v >> shift))
-	}
-	for i := 0; i < len(k.faults); i++ {
-		mix(k.faults[i])
-	}
-	return h
+	return u * cacheShards / n
 }
 
-func (c *resultCache) shard(k cacheKey) *cacheShard {
-	return &c.shards[k.hash()%cacheShards]
+// stale reports whether e can no longer be served: its producing epoch
+// precedes a churn batch that touched either endpoint's partition, or the
+// snapshot that produced it has been retired (epoch older than the
+// retention window ending at cur).
+func (c *resultCache) stale(e cacheEntry, pu, pv int, cur, retain uint64) bool {
+	min := c.shards[pu].minEpoch.Load()
+	if m2 := c.shards[pv].minEpoch.Load(); m2 > min {
+		min = m2
+	}
+	return e.epoch < min || e.epoch+retain <= cur
 }
 
-// get returns the entry for k if it exists at the current epoch. A stale
-// entry (older epoch) is deleted and reported as a miss.
-func (c *resultCache) get(k cacheKey, epoch uint64) (cacheEntry, bool) {
-	sh := c.shard(k)
+// get returns the still-valid entry for k, deleting (and missing on) one
+// that has gone stale. cur is the current snapshot epoch and retain the
+// oracle's snapshot retention depth.
+func (c *resultCache) get(k cacheKey, cur, retain uint64) (cacheEntry, bool) {
+	pu, pv := partition(int(k.u), c.n), partition(int(k.v), c.n)
+	sh := &c.shards[pu]
 	sh.mu.Lock()
 	e, ok := sh.m[k]
-	if ok && e.epoch != epoch {
+	if ok && c.stale(e, pu, pv, cur, retain) {
 		delete(sh.m, k)
 		ok = false
 	}
@@ -95,19 +113,20 @@ func (c *resultCache) get(k cacheKey, epoch uint64) (cacheEntry, bool) {
 	return e, true
 }
 
-// put stores an entry, evicting one entry of the shard if it is at its
-// budget. The victim scan (bounded, pseudo-random via map iteration order)
-// prefers a stale entry — after an epoch bump the shard is typically full
-// of dead entries, and evicting those instead of a random victim keeps the
-// fresh minority alive while the stale bulk drains.
-func (c *resultCache) put(k cacheKey, e cacheEntry) {
-	sh := c.shard(k)
+// put stores an entry in its source vertex's shard, evicting one entry if
+// the shard is at its budget. The victim scan (bounded, pseudo-random via
+// map iteration order) prefers a stale entry — after an invalidation the
+// shard is typically full of dead entries, and evicting those instead of a
+// random victim keeps the live minority alive while the stale bulk drains.
+func (c *resultCache) put(k cacheKey, e cacheEntry, retain uint64) {
+	pu := partition(int(k.u), c.n)
+	sh := &c.shards[pu]
 	sh.mu.Lock()
 	if _, exists := sh.m[k]; !exists && len(sh.m) >= c.perShard {
 		var fallback cacheKey
 		haveFallback, evicted, scanned := false, false, 0
 		for victim, ve := range sh.m {
-			if ve.epoch != e.epoch {
+			if c.stale(ve, pu, partition(int(victim.v), c.n), e.epoch, retain) {
 				delete(sh.m, victim)
 				evicted = true
 				break
@@ -127,7 +146,37 @@ func (c *resultCache) put(k cacheKey, e cacheEntry) {
 	sh.mu.Unlock()
 }
 
-// len returns the total live entry count (stale entries included — they are
+// invalidateVertices raises minEpoch to epoch on every shard owning a
+// vertex in touched, and returns how many distinct shards that was. Called
+// under the oracle's writer mutex before the new snapshot is published, so
+// readers never see the new epoch with stale touched-shard entries.
+func (c *resultCache) invalidateVertices(touched []int, epoch uint64) int {
+	var hit [cacheShards]bool
+	count := 0
+	for _, u := range touched {
+		if u < 0 || u >= c.n {
+			continue
+		}
+		p := partition(u, c.n)
+		if !hit[p] {
+			hit[p] = true
+			count++
+			c.shards[p].minEpoch.Store(epoch)
+		}
+	}
+	return count
+}
+
+// invalidateAll raises minEpoch on every shard (used when the maintainer
+// rebuilt the spanner from scratch and the touched set is meaningless).
+func (c *resultCache) invalidateAll(epoch uint64) int {
+	for i := range c.shards {
+		c.shards[i].minEpoch.Store(epoch)
+	}
+	return cacheShards
+}
+
+// len returns the total entry count (stale entries included — they are
 // only collected lazily).
 func (c *resultCache) len() int {
 	total := 0
@@ -137,4 +186,15 @@ func (c *resultCache) len() int {
 		c.shards[i].mu.Unlock()
 	}
 	return total
+}
+
+// shardSizes returns the per-shard entry counts (stale entries included).
+func (c *resultCache) shardSizes() []int {
+	sizes := make([]int, cacheShards)
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		sizes[i] = len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return sizes
 }

@@ -109,6 +109,10 @@ func NewHTTPHandler(o *Oracle) http.Handler {
 			FaultEdges:    req.FaultEdges,
 			NoCache:       req.NoCache,
 			MaxDistance:   req.MaxDistance,
+			// The encoder below only reads the path, but CopyPath keeps the
+			// handler decoupled from cache internals: nothing downstream of
+			// an HTTP response may alias a shared cache entry.
+			CopyPath: true,
 		})
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})

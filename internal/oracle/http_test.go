@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
 	"ftspanner/internal/verify"
 )
 
@@ -99,9 +100,20 @@ func TestHTTPEndpoints(t *testing.T) {
 		}
 	}
 
-	// Churn through /batch: the epoch advances and the cache is cold again.
+	// Churn through /batch, touching queried vertex 0 so its cache shard is
+	// invalidated: the epoch advances and that pair's entry is cold again.
 	g, _, _ := o.Snapshot()
-	e := g.Edges()[0]
+	var e graph.Edge
+	found := false
+	for _, cand := range g.Edges() {
+		if cand.U == 0 || cand.V == 0 {
+			e, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("vertex 0 has no incident edge to churn")
+	}
 	var br BatchResponse
 	postJSON(t, srv.URL+"/batch", BatchRequest{
 		Delete: []BatchUpdate{{U: e.U, V: e.V}},

@@ -8,26 +8,44 @@
 // and v given that these elements have failed?" — while both are happening
 // at once.
 //
-// Three mechanisms make serving fast and safe:
+// The serving spine is read-copy-update (RCU). All serving state — the
+// spanner and graph as immutable CSR snapshots, the epoch, the maintainer
+// counters — lives in one immutable snapshot struct published through an
+// atomic.Pointer. Query loads that pointer and runs entirely against the
+// snapshot it got: no mutex, no read lock, no coordination with writers at
+// all. Apply holds a narrow writer mutex only to serialize batches against
+// each other; it mutates the maintainer, builds the next snapshot off to
+// the side (incrementally: graph.PatchCSR rewrites only the adjacency rows
+// the batch touched, using the touched sets dynamic.ApplyBatch already
+// computes for witness repair), and publishes it with one atomic store.
+// Churn therefore never blocks readers, however large the graph.
 //
-//   - A sync.Pool of warm sp.Searchers: each query borrows a preallocated
-//     shortest-path engine, so concurrent cache-miss queries run BFS or
-//     Dijkstra with no per-query scratch allocation.
-//   - An epoch-stamped result cache keyed by (u, v, canonical fault set):
-//     repeated queries for hot pairs are one sharded map lookup. Every
-//     Apply bumps the epoch, invalidating the whole cache in O(1); stale
-//     entries are collected lazily.
-//   - A sync.RWMutex composing serving with maintenance: queries share the
-//     read side and run concurrently against the current spanner snapshot;
-//     Apply takes the write side, mutates graph and spanner through
-//     dynamic.Maintainer.ApplyBatch, and bumps the epoch before releasing
-//     it. Every answer therefore reflects exactly one epoch's snapshot, and
-//     QueryResult.Epoch names which.
+// Three more mechanisms keep the fast path fast and the answers auditable:
+//
+//   - Per-partition pools of warm sp.Searchers with work-stealing: a
+//     cache-miss query borrows a preallocated shortest-path engine from its
+//     source vertex's partition, stealing from neighboring partitions
+//     before allocating, so concurrent misses run BFS or Dijkstra with no
+//     per-query scratch allocation and the number of live searchers tracks
+//     the number of concurrent readers, not the number of partitions.
+//   - A result cache sharded by vertex partition with epoch-range validity:
+//     a batch invalidates only the shards owning vertices it touched (one
+//     atomic minEpoch store per shard), so hot pairs far from the churn
+//     keep their entries across Apply. A hit is served labeled with the
+//     epoch that produced it — possibly older than the head.
+//   - Epoch re-verification: every answer names its exact epoch, and the
+//     oracle retains the last Config.SnapshotRetain snapshots so
+//     SnapshotAt can recover precisely the graph/spanner state any
+//     still-served answer came from (verify.CheckServedAnswer closes the
+//     loop). Retention also bounds staleness: a cached answer whose epoch
+//     has slid out of the window is invalid even if its shards were never
+//     touched.
 //
 // The fault-tolerance guarantee the caller inherits: for any fault set F
 // with |F| <= f (of the oracle's mode), the served distance d_{H\F}(u,v) is
 // at most (2k-1) · d_{G\F}(u,v) — the whole point of serving queries off
-// the sparse spanner instead of the full graph.
+// the sparse spanner instead of the full graph — evaluated on the snapshot
+// the answer's epoch names.
 package oracle
 
 import (
@@ -37,6 +55,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ftspanner/internal/dynamic"
 	"ftspanner/internal/graph"
@@ -60,9 +79,16 @@ type Config struct {
 	// CacheCapacity bounds the result cache's total entries. 0 selects
 	// DefaultCacheCapacity; negative disables caching entirely.
 	CacheCapacity int
+	// SnapshotRetain is how many epochs stay reachable for SnapshotAt
+	// re-verification — and therefore how many epochs a cached answer may
+	// outlive its producing batch. 0 selects DefaultSnapshotRetain; values
+	// below 1 are clamped to 1 (head only: every Apply invalidates the
+	// whole cache, as the pre-RCU oracle did). Each retained epoch pins
+	// one CSR pair, so memory grows with SnapshotRetain · (n + m).
+	SnapshotRetain int
 }
 
-// QueryOptions carries a query's fault set and cache directive.
+// QueryOptions carries a query's fault set and cache directives.
 type QueryOptions struct {
 	// FaultVertices lists failed vertex IDs (vertex-fault oracles only).
 	// At most Config.F after deduplication.
@@ -84,6 +110,11 @@ type QueryOptions struct {
 	// negative or NaN is rejected. The cap is part of the cache key, so
 	// capped and uncapped answers for the same pair never mix.
 	MaxDistance float64
+	// CopyPath makes the returned QueryResult.Path a private copy the
+	// caller may mutate freely. Without it a cached answer shares one path
+	// slice across every caller that hits the same entry (zero-copy, but
+	// strictly read-only). The HTTP layer always sets it.
+	CopyPath bool
 }
 
 // QueryResult is one served answer.
@@ -94,12 +125,14 @@ type QueryResult struct {
 	// set disconnects the pair.
 	Distance float64
 	// Path is the realizing vertex sequence from U to V (nil when Distance
-	// is +Inf). Cached answers share one slice across callers: treat it as
-	// read-only.
+	// is +Inf). Unless QueryOptions.CopyPath was set, cached answers share
+	// one slice across callers: treat it as read-only.
 	Path []int
-	// Epoch identifies the spanner snapshot the answer is valid for; it
-	// increments on every Apply. Compare with Oracle.Snapshot to re-verify
-	// an answer against the exact graph/spanner state that produced it.
+	// Epoch identifies the spanner snapshot the answer is valid for. A
+	// cache hit may name an epoch older than the current head (the epoch
+	// that computed the entry); Oracle.SnapshotAt recovers that exact
+	// graph/spanner state for re-verification while it stays within the
+	// retention window.
 	Epoch uint64
 	// CacheHit reports whether the answer came from the result cache.
 	CacheHit bool
@@ -120,36 +153,128 @@ type Stats struct {
 	K           int     `json:"k"`
 	F           int     `json:"f"`
 	Mode        string  `json:"mode"`
-	// Maintainer exposes the underlying repair counters.
+
+	// CacheShardSizes is the per-partition-shard entry count (stale entries
+	// included until lazily collected); nil when caching is disabled.
+	CacheShardSizes []int `json:"cache_shard_sizes,omitempty"`
+	// ShardsInvalidated counts shard invalidations cumulatively across all
+	// batches; LastInvalidatedShards is the count for the head epoch's
+	// batch alone (0 for the initial snapshot). cacheShards (64) per batch
+	// means full invalidation (a maintainer rebuild).
+	ShardsInvalidated     uint64 `json:"shards_invalidated"`
+	LastInvalidatedShards int    `json:"last_invalidated_shards"`
+	// SnapshotsRetained is the current length of the snapshot chain
+	// reachable for SnapshotAt; SnapshotRetain is its configured cap.
+	SnapshotsRetained int `json:"snapshots_retained"`
+	SnapshotRetain    int `json:"snapshot_retain"`
+	// SnapshotSwapNs is the writer-side cost of the head epoch: time Apply
+	// spent building and publishing the current snapshot.
+	SnapshotSwapNs int64 `json:"snapshot_swap_ns"`
+	// CSRPatches / CSRFullBuilds split the spanner snapshots built since
+	// startup by path taken: incremental PatchCSR versus full BuildCSR
+	// (initial build, maintainer rebuilds, and patch fallbacks). The NsAvg
+	// fields report the mean build time of each path.
+	CSRPatches        uint64 `json:"csr_patches"`
+	CSRFullBuilds     uint64 `json:"csr_full_builds"`
+	CSRPatchNsAvg     int64  `json:"csr_patch_ns_avg"`
+	CSRFullBuildNsAvg int64  `json:"csr_full_build_ns_avg"`
+
+	// Maintainer exposes the underlying repair counters (frozen at the
+	// head epoch's batch).
 	Maintainer dynamic.Stats `json:"maintainer"`
 }
 
 // Oracle is a thread-safe query engine over a maintained fault-tolerant
-// spanner. All methods are safe for concurrent use.
+// spanner. All methods are safe for concurrent use; Query, Snapshot,
+// SnapshotAt, Epoch, and Stats never take a lock.
 type Oracle struct {
-	cfg Config
-	n   int
+	cfg    Config
+	n      int
+	retain int
 
-	// mu orders queries (read side) against Apply (write side). epoch is
-	// guarded by mu: a query reads it under RLock together with the spanner
-	// it describes, so the pair is always consistent.
-	mu    sync.RWMutex
-	m     *dynamic.Maintainer
-	epoch uint64
-	// csr is the flat-adjacency snapshot of the current spanner, rebuilt
-	// under the write lock by every successful Apply. Queries search it
-	// instead of the maintainer's slice-adjacency spanner: neighborhood scans
-	// run over one contiguous array, which is what keeps the per-query cost
-	// memory-bound rather than cache-miss-bound at n >= 10^5.
-	csr *graph.CSR
+	// snap is the RCU-published serving state. Readers only ever Load it;
+	// apply is the only writer.
+	snap atomic.Pointer[snapshot]
 
-	searchers sync.Pool // *sp.Searcher
-	cache     *resultCache
+	// wmu serializes Apply batches against each other. Queries never touch
+	// it — the read path's only synchronization is the snap Load and the
+	// per-shard cache mutexes.
+	wmu sync.Mutex
+	m   *dynamic.Maintainer
+
+	// pools hold warm searchers, one pool per vertex partition (shared
+	// with the cache's partition map), borrowed by cache-miss queries.
+	pools       [cacheShards]searcherPool
+	newSearcher func() *sp.Searcher
+	cache       *resultCache
 
 	queries atomic.Uint64
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 	batches atomic.Uint64
+
+	shardsInvalidated atomic.Uint64
+	csrPatches        atomic.Uint64
+	csrFullBuilds     atomic.Uint64
+	csrPatchNs        atomic.Int64
+	csrFullBuildNs    atomic.Int64
+}
+
+// searcherPoolCap bounds how many warm searchers one partition parks. A
+// searcher's scratch is O(n) no matter which partition borrows it, so the
+// pools deliberately hold few and rely on stealing: the steady-state
+// searcher count tracks the number of concurrent cache-miss readers, not
+// the number of partitions.
+const searcherPoolCap = 2
+
+// searcherPool is one partition's warm-searcher free list. It is a tiny
+// mutex-guarded slice rather than a sync.Pool: the GC purges idle
+// sync.Pools every cycle, and with 64 partition pools of O(n) searchers a
+// scattered miss workload on a large graph turns that into a
+// purge-and-reallocate storm (each reallocation feeds the GC pressure that
+// causes the next purge). The mutex guards a pointer swap and is only
+// touched on cache misses, so it adds no contention worth measuring.
+type searcherPool struct {
+	mu   sync.Mutex
+	free []*sp.Searcher
+}
+
+func (p *searcherPool) get() *sp.Searcher {
+	p.mu.Lock()
+	var s *sp.Searcher
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// put parks s unless the partition already holds searcherPoolCap; the
+// overflow searcher is dropped for the GC to collect.
+func (p *searcherPool) put(s *sp.Searcher) {
+	p.mu.Lock()
+	if len(p.free) < searcherPoolCap {
+		p.free = append(p.free, s)
+	}
+	p.mu.Unlock()
+}
+
+// getSearcher returns a warm searcher for a cache-miss query in shard,
+// preferring the shard's own pool, then stealing the nearest parked
+// searcher from any other partition, and only allocating when every pool
+// is empty (startup, or more concurrent misses than live searchers).
+func (o *Oracle) getSearcher(shard int) *sp.Searcher {
+	if s := o.pools[shard].get(); s != nil {
+		return s
+	}
+	for i := 1; i < len(o.pools); i++ {
+		if s := o.pools[(shard+i)%len(o.pools)].get(); s != nil {
+			return s
+		}
+	}
+	return o.newSearcher()
 }
 
 // New builds the F-fault-tolerant (2K-1)-spanner of g (via
@@ -170,11 +295,23 @@ func New(g *graph.Graph, cfg Config) (*Oracle, error) {
 	mc := m.Config()
 	cfg.Mode = mc.Mode
 	cfg.StalenessBudget = mc.StalenessBudget
-	o := &Oracle{cfg: cfg, n: g.N(), m: m, epoch: 1, csr: graph.BuildCSR(m.Spanner())}
+	if cfg.SnapshotRetain == 0 {
+		cfg.SnapshotRetain = DefaultSnapshotRetain
+	}
+	if cfg.SnapshotRetain < 1 {
+		cfg.SnapshotRetain = 1
+	}
+	o := &Oracle{cfg: cfg, n: g.N(), retain: cfg.SnapshotRetain, m: m}
+	o.snap.Store(&snapshot{
+		epoch:   1,
+		spanner: graph.BuildCSR(m.Spanner()),
+		g:       graph.BuildCSR(m.Graph()),
+		maint:   m.Stats(),
+	})
 	hintN, hintM := g.N(), g.EdgeIDLimit()
-	o.searchers.New = func() any { return sp.NewSearcher(hintN, hintM) }
+	o.newSearcher = func() *sp.Searcher { return sp.NewSearcher(hintN, hintM) }
 	if cfg.CacheCapacity >= 0 {
-		o.cache = newResultCache(cfg.CacheCapacity)
+		o.cache = newResultCache(cfg.CacheCapacity, g.N())
 	}
 	return o, nil
 }
@@ -185,12 +322,8 @@ func (o *Oracle) Config() Config { return o.cfg }
 // Stretch returns the served stretch bound 2K-1.
 func (o *Oracle) Stretch() int { return 2*o.cfg.K - 1 }
 
-// Epoch returns the current snapshot epoch.
-func (o *Oracle) Epoch() uint64 {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.epoch
-}
+// Epoch returns the current head snapshot epoch (lock-free).
+func (o *Oracle) Epoch() uint64 { return o.snap.Load().epoch }
 
 // canonFaults validates a query's fault set against the oracle's mode and
 // budget and returns its canonical encoding for the cache key: sorted,
@@ -289,11 +422,13 @@ func (o *Oracle) canonFaultSet(opts QueryOptions) (string, error) {
 	return "", fmt.Errorf("oracle: invalid mode %v", o.cfg.Mode)
 }
 
-// Query answers a distance/path query on the current spanner snapshot under
-// the fault set of opts. Hot path: a cache hit is one sharded map lookup
-// under the shared read lock; a miss borrows a pooled searcher and runs one
-// targeted BFS (unweighted) or Dijkstra (weighted) on the spanner minus the
-// fault mask.
+// Query answers a distance/path query under the fault set of opts,
+// lock-free: it loads the published snapshot once and runs entirely
+// against it, so concurrent Apply batches never delay it. Hot path: a
+// cache hit is one shard map lookup (served labeled with the entry's own
+// epoch); a miss borrows a pooled searcher from the source vertex's
+// partition and runs one targeted BFS (unweighted) or Dijkstra (weighted)
+// on the snapshot's spanner minus the fault mask.
 func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 	if u < 0 || u >= o.n || v < 0 || v >= o.n {
 		return QueryResult{}, fmt.Errorf("oracle: query pair {%d,%d} out of range [0,%d)", u, v, o.n)
@@ -305,14 +440,16 @@ func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 	o.queries.Add(1)
 	key := cacheKey{u: int32(u), v: int32(v), faults: faults}
 
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	epoch := o.epoch
+	snap := o.snap.Load()
 	useCache := o.cache != nil && !opts.NoCache
 	if useCache {
-		if e, ok := o.cache.get(key, epoch); ok {
+		if e, ok := o.cache.get(key, snap.epoch, uint64(o.retain)); ok {
 			o.hits.Add(1)
-			return QueryResult{U: u, V: v, Distance: e.dist, Path: e.path, Epoch: epoch, CacheHit: true}, nil
+			path := e.path
+			if opts.CopyPath && path != nil {
+				path = append([]int(nil), path...)
+			}
+			return QueryResult{U: u, V: v, Distance: e.dist, Path: path, Epoch: e.epoch, CacheHit: true}, nil
 		}
 		// Only consulted-and-missed counts as a miss: NoCache and
 		// disabled-cache queries never reach the cache, and counting them
@@ -320,8 +457,9 @@ func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 		o.misses.Add(1)
 	}
 
-	h := o.csr
-	s := o.searchers.Get().(*sp.Searcher)
+	h := snap.spanner
+	shard := partition(u, o.n)
+	s := o.getSearcher(shard)
 	s.Grow(h.N(), h.EdgeIDLimit())
 	s.ResetBlocked()
 	if o.cfg.Mode == lbc.Vertex {
@@ -353,65 +491,135 @@ func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 		path = append(path, pathV...) // copy off the searcher's buffer
 	}
 	s.ResetBlocked()
-	o.searchers.Put(s)
+	o.pools[shard].put(s)
 
 	if useCache {
-		o.cache.put(key, cacheEntry{epoch: epoch, dist: dist, path: path})
+		o.cache.put(key, cacheEntry{epoch: snap.epoch, dist: dist, path: path}, uint64(o.retain))
 	}
-	return QueryResult{U: u, V: v, Distance: dist, Path: path, Epoch: epoch}, nil
+	res := QueryResult{U: u, V: v, Distance: dist, Path: path, Epoch: snap.epoch}
+	if opts.CopyPath && res.Path != nil {
+		// The cache now holds path; hand the caller its own copy.
+		res.Path = append([]int(nil), res.Path...)
+	}
+	return res, nil
 }
 
 // Apply services one batch of edge updates through the underlying
-// dynamic.Maintainer and bumps the snapshot epoch, invalidating every
-// cached answer. It blocks new queries for the duration of the repair; a
-// validation error leaves graph, spanner, epoch, and cache unchanged.
+// dynamic.Maintainer and publishes the next snapshot epoch. Concurrent
+// queries are never blocked: they keep serving the previous snapshot until
+// the atomic swap and only the cache shards owning vertices the batch
+// touched are invalidated. A validation error leaves graph, spanner,
+// epoch, and cache unchanged.
 func (o *Oracle) Apply(b dynamic.Batch) error {
 	_, err := o.apply(b)
 	return err
 }
 
-// apply is Apply returning the post-bump epoch, read under the same write
-// lock — the HTTP /batch handler reports it, and a separate Epoch() call
-// after the lock is released could name a later concurrent batch's epoch.
+// apply is Apply returning the published epoch, read under the same writer
+// mutex — the HTTP /batch handler reports it, and a separate Epoch() call
+// after the mutex is released could name a later concurrent batch's epoch.
 func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.m.ApplyBatch(b); err != nil {
-		return o.epoch, fmt.Errorf("oracle: %w", err)
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	cur := o.snap.Load()
+	delta, err := o.m.ApplyBatch(b)
+	if err != nil {
+		return cur.epoch, fmt.Errorf("oracle: %w", err)
 	}
-	o.csr = graph.BuildCSR(o.m.Spanner())
-	o.epoch++
+	start := time.Now()
+	next := &snapshot{epoch: cur.epoch + 1, maint: o.m.Stats()}
+
+	// Spanner CSR: incremental patch of the touched adjacency rows, unless
+	// the maintainer rebuilt from scratch (or the patch refuses), in which
+	// case fall back to a full build. Each path is timed separately so
+	// Stats can report the incremental speedup.
+	csrStart := time.Now()
+	if !delta.Rebuilt {
+		if patched, perr := graph.PatchCSR(cur.spanner, o.m.Spanner(), delta.Spanner); perr == nil {
+			next.spanner = patched
+			next.patched = true
+			o.csrPatches.Add(1)
+			o.csrPatchNs.Add(time.Since(csrStart).Nanoseconds())
+		}
+	}
+	if next.spanner == nil {
+		next.spanner = graph.BuildCSR(o.m.Spanner())
+		o.csrFullBuilds.Add(1)
+		o.csrFullBuildNs.Add(time.Since(csrStart).Nanoseconds())
+	}
+	// Graph CSR: the batch's own updates are the complete graph delta, so
+	// this patch only falls back if something upstream under-reported.
+	if patched, perr := graph.PatchCSR(cur.g, o.m.Graph(), delta.Graph); perr == nil {
+		next.g = patched
+	} else {
+		next.g = graph.BuildCSR(o.m.Graph())
+	}
+
+	// Invalidate before publishing: a reader that already loaded the new
+	// snapshot must never hit a pre-batch entry in a touched shard.
+	if o.cache != nil {
+		if delta.Rebuilt {
+			next.invalidated = o.cache.invalidateAll(next.epoch)
+		} else {
+			touched := append(append([]int(nil), delta.Graph.Vertices...), delta.Spanner.Vertices...)
+			next.invalidated = o.cache.invalidateVertices(touched, next.epoch)
+		}
+		o.shardsInvalidated.Add(uint64(next.invalidated))
+	}
+
+	next.swapNs = time.Since(start).Nanoseconds()
+	next.prev.Store(cur)
+	o.snap.Store(next)
+
+	// Slide the retention window: unlink the snapshot past depth retain so
+	// retired epochs (and their CSRs) become collectible.
+	node := next
+	for i := 1; i < o.retain && node != nil; i++ {
+		node = node.prev.Load()
+	}
+	if node != nil {
+		node.prev.Store(nil)
+	}
 	o.batches.Add(1)
-	return o.epoch, nil
+	return next.epoch, nil
 }
 
-// Snapshot returns deep copies of the current graph and spanner plus the
-// epoch they belong to. A test that holds a QueryResult with the same epoch
-// can re-verify the answer against these exact structures (see
-// verify.CheckServedAnswer).
-func (o *Oracle) Snapshot() (g, h *graph.Graph, epoch uint64) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.m.Graph().Clone(), o.m.Spanner().Clone(), o.epoch
-}
-
-// Stats assembles a consistent snapshot of the counters.
+// Stats assembles a snapshot of the counters, lock-free: graph shape and
+// maintainer counters come frozen from the published snapshot.
 func (o *Oracle) Stats() Stats {
-	o.mu.RLock()
+	s := o.snap.Load()
 	st := Stats{
-		Epoch:      o.epoch,
-		N:          o.m.Graph().N(),
-		M:          o.m.Graph().M(),
-		SpannerM:   o.m.Spanner().M(),
-		Maintainer: o.m.Stats(),
+		Epoch:                 s.epoch,
+		N:                     s.g.N(),
+		M:                     s.g.M(),
+		SpannerM:              s.spanner.M(),
+		Maintainer:            s.maint,
+		SnapshotSwapNs:        s.swapNs,
+		LastInvalidatedShards: s.invalidated,
+		SnapshotsRetained:     o.retained(),
+		SnapshotRetain:        o.retain,
 	}
-	o.mu.RUnlock()
 	st.Queries = o.queries.Load()
 	st.CacheHits = o.hits.Load()
 	st.CacheMisses = o.misses.Load()
 	st.Batches = o.batches.Load()
+	st.ShardsInvalidated = o.shardsInvalidated.Load()
+	st.CSRPatches = o.csrPatches.Load()
+	st.CSRFullBuilds = o.csrFullBuilds.Load()
+	if st.CSRPatches > 0 {
+		st.CSRPatchNsAvg = o.csrPatchNs.Load() / int64(st.CSRPatches)
+	}
+	if st.CSRFullBuilds > 0 {
+		st.CSRFullBuildNsAvg = o.csrFullBuildNs.Load() / int64(st.CSRFullBuilds)
+	}
 	if o.cache != nil {
-		st.CacheSize = o.cache.len()
+		sizes := o.cache.shardSizes()
+		total := 0
+		for _, sz := range sizes {
+			total += sz
+		}
+		st.CacheSize = total
+		st.CacheShardSizes = sizes
 	}
 	// HitRate is the hit rate of the cache itself: hits over queries that
 	// consulted it (NoCache and disabled-cache queries consult nothing).

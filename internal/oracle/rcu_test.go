@@ -1,0 +1,270 @@
+package oracle
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ftspanner/internal/dynamic"
+)
+
+// The tentpole invariant, asserted directly: the entire read surface —
+// Query, Snapshot, SnapshotAt, Epoch, Stats — completes while the writer
+// mutex is held, i.e. a stalled or long-running Apply can never block a
+// reader. If any of these paths regresses into taking wmu (or any lock a
+// writer holds), this test deadlocks and fails on timeout.
+func TestQueryLockFreeDuringApply(t *testing.T) {
+	g := mustGNP(t, 81, 64, 8)
+	o, err := New(g, Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.wmu.Lock() // simulate being mid-Apply, indefinitely
+	defer o.wmu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		if _, err := o.Query(0, 5, QueryOptions{}); err != nil {
+			done <- err
+			return
+		}
+		if _, err := o.Query(0, 5, QueryOptions{}); err != nil { // cached path too
+			done <- err
+			return
+		}
+		o.Snapshot()
+		o.SnapshotAt(o.Epoch())
+		o.Stats()
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read path blocked while the writer mutex was held — not lock-free")
+	}
+}
+
+// A churn batch invalidates only the cache shards owning vertices it
+// touched: a warmed pair far from the churn keeps hitting (labeled with
+// the old epoch that produced it), while a pair in a touched partition
+// misses and re-caches at the new epoch. This pins the acceptance
+// criterion that the hit rate immediately after Apply is > 0.
+func TestShardedInvalidationKeepsFarEntries(t *testing.T) {
+	const n = 256 // partition(u) = u/4
+	g := mustGNP(t, 91, n, 8)
+	o, err := New(g, Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	farU, farV := 200, 240
+	nearU, nearV := 0, 100
+	rFar, err := o.Query(farU, farV, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Query(nearU, nearV, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn confined to partition 0: insert an edge between two low
+	// vertices (both endpoints, and any spanner repair, stay in shard 0).
+	x := -1
+	for cand := 1; cand < 4; cand++ {
+		if !g.HasEdge(0, cand) {
+			x = cand
+			break
+		}
+	}
+	if x < 0 {
+		t.Fatal("vertices 0..3 form a clique; no local insertion available")
+	}
+	if err := o.Apply(dynamic.Batch{Insert: []dynamic.Update{{U: 0, V: x}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	rFar2, err := o.Query(farU, farV, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rFar2.CacheHit {
+		t.Fatal("far entry did not survive a batch confined to another partition")
+	}
+	if rFar2.Epoch != rFar.Epoch {
+		t.Fatalf("surviving hit relabeled epoch %d, want its producing epoch %d", rFar2.Epoch, rFar.Epoch)
+	}
+	// ... and the old answer remains re-verifiable at its own epoch.
+	if _, _, ok := o.SnapshotAt(rFar2.Epoch); !ok {
+		t.Fatalf("epoch %d served from cache but not retained", rFar2.Epoch)
+	}
+
+	rNear2, err := o.Query(nearU, nearV, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rNear2.CacheHit {
+		t.Fatal("entry in the touched partition survived invalidation")
+	}
+	if rNear2.Epoch != rFar.Epoch+1 {
+		t.Fatalf("re-cached entry at epoch %d, want %d", rNear2.Epoch, rFar.Epoch+1)
+	}
+
+	st := o.Stats()
+	if st.LastInvalidatedShards < 1 || st.LastInvalidatedShards >= cacheShards {
+		t.Fatalf("batch invalidated %d shards, want partial (0 < s < %d)", st.LastInvalidatedShards, cacheShards)
+	}
+	if st.CacheHits < 1 {
+		t.Fatalf("hit rate after Apply is zero: %+v", st)
+	}
+	if len(st.CacheShardSizes) != cacheShards {
+		t.Fatalf("stats carry %d shard sizes, want %d", len(st.CacheShardSizes), cacheShards)
+	}
+}
+
+// QueryOptions.CopyPath hands the caller a private path slice: mutating it
+// must not corrupt the shared cache entry subsequent answers are served
+// from.
+func TestCopyPathProtectsCache(t *testing.T) {
+	g := mustGNP(t, 101, 64, 6)
+	o, err := New(g, Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := o.Query(2, 50, QueryOptions{CopyPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Path) == 0 {
+		t.Fatal("test pair unreachable; pick a connected pair")
+	}
+	want := append([]int(nil), r1.Path...)
+	r1.Path[0] = -99 // caller scribbles on its copy (miss path)
+
+	r2, err := o.Query(2, 50, QueryOptions{CopyPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("repeat query missed")
+	}
+	if r2.Path[0] == -99 {
+		t.Fatal("mutation of a CopyPath result reached the cache (miss path)")
+	}
+	r2.Path[0] = -77 // caller scribbles on its copy (hit path)
+
+	r3, err := o.Query(2, 50, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit {
+		t.Fatal("repeat query missed")
+	}
+	for i, v := range want {
+		if r3.Path[i] != v {
+			t.Fatalf("cached path corrupted at %d: %v, want %v", i, r3.Path, want)
+		}
+	}
+}
+
+// Snapshot clones come from the immutable published snapshot, not from the
+// maintainer under a lock: continuous concurrent Snapshot calls must not
+// serialize against Apply (regression for the O(n+m)-clone-under-RWMutex
+// design this replaced), and mutating a returned clone must not perturb
+// the oracle.
+func TestApplyIndependentOfConcurrentSnapshot(t *testing.T) {
+	g := mustGNP(t, 111, 2000, 6)
+	o, err := New(g, Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sg, sh, _ := o.Snapshot()
+				_ = sg.M()
+				_ = sh.M()
+			}
+		}()
+	}
+	e := g.Edges()[0]
+	for i := 0; i < 10; i++ {
+		if err := o.Apply(dynamic.Batch{Delete: []dynamic.Update{{U: e.U, V: e.V}}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Apply(dynamic.Batch{Insert: []dynamic.Update{{U: e.U, V: e.V, W: e.W}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Clones are deep: scribbling on one is invisible to the oracle.
+	sg, sh, _ := o.Snapshot()
+	mBefore, hBefore := o.Stats().M, o.Stats().SpannerM
+	for _, ed := range sg.Edges() {
+		if _, err := sg.RemoveEdgeBetween(ed.U, ed.V); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	for _, ed := range sh.Edges() {
+		if _, err := sh.RemoveEdgeBetween(ed.U, ed.V); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if st := o.Stats(); st.M != mBefore || st.SpannerM != hBefore {
+		t.Fatalf("mutating Snapshot clones changed the oracle: %+v", st)
+	}
+}
+
+// The retention window works as documented: the last SnapshotRetain epochs
+// stay recoverable through SnapshotAt, older ones are retired, and Stats
+// reports the chain length.
+func TestSnapshotAtRetention(t *testing.T) {
+	g := mustGNP(t, 121, 48, 8)
+	o, err := New(g, Config{K: 2, F: 1, SnapshotRetain: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges()[0]
+	for i := 0; i < 5; i++ { // epochs 2..6
+		b := dynamic.Batch{Delete: []dynamic.Update{{U: e.U, V: e.V}}}
+		if i%2 == 1 {
+			b = dynamic.Batch{Insert: []dynamic.Update{{U: e.U, V: e.V, W: e.W}}}
+		}
+		if err := o.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := o.Epoch(); got != 6 {
+		t.Fatalf("epoch %d after 5 batches, want 6", got)
+	}
+	for epoch := uint64(4); epoch <= 6; epoch++ {
+		if _, _, ok := o.SnapshotAt(epoch); !ok {
+			t.Fatalf("epoch %d inside the retention window not recoverable", epoch)
+		}
+	}
+	for _, epoch := range []uint64{1, 3, 7} {
+		if _, _, ok := o.SnapshotAt(epoch); ok {
+			t.Fatalf("epoch %d outside the retention window still recoverable", epoch)
+		}
+	}
+	st := o.Stats()
+	if st.SnapshotsRetained != 3 || st.SnapshotRetain != 3 {
+		t.Fatalf("retained %d/%d snapshots, want 3/3", st.SnapshotsRetained, st.SnapshotRetain)
+	}
+}

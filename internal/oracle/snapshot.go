@@ -1,0 +1,85 @@
+package oracle
+
+import (
+	"sync/atomic"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/graph"
+)
+
+// DefaultSnapshotRetain is the default snapshot retention depth
+// (Config.SnapshotRetain = 0): how many epochs stay reachable for
+// SnapshotAt re-verification, and therefore how long a cached answer may
+// keep being served after its producing epoch.
+const DefaultSnapshotRetain = 8
+
+// snapshot is one immutable, fully self-contained serving state: everything
+// a query (or a re-verifier) needs, frozen at one epoch. Apply builds the
+// next snapshot off to the side and publishes it with a single atomic
+// pointer store; queries load the pointer and never synchronize with
+// writers again. Nothing in a published snapshot is ever mutated — the prev
+// pointer is the only mutable field, and it only ever moves from an older
+// snapshot to nil when the retention window slides past it.
+type snapshot struct {
+	epoch uint64
+	// spanner and g are CSR snapshots of the maintained spanner and graph.
+	// Queries search spanner; Snapshot()/SnapshotAt materialize clones of
+	// both without touching the maintainer (or any lock).
+	spanner *graph.CSR
+	g       *graph.CSR
+	// maint is the maintainer's counters frozen when this epoch was built,
+	// so Stats() is lock-free too.
+	maint dynamic.Stats
+	// swapNs is how long Apply spent building this snapshot (CSR work plus
+	// shard invalidation) before publishing it — the writer-side cost that
+	// the RCU design keeps off the readers.
+	swapNs int64
+	// patched reports whether spanner was built by PatchCSR (true) or a
+	// full BuildCSR (false: first snapshot, maintainer rebuild, or patch
+	// fallback).
+	patched bool
+	// invalidated is how many cache shards this epoch's batch invalidated.
+	invalidated int
+
+	// prev links to the previous epoch's snapshot. The chain is truncated
+	// at the oracle's retention depth by each Apply; SnapshotAt walks it.
+	prev atomic.Pointer[snapshot]
+}
+
+// Snapshot returns deep copies of the current graph and spanner plus the
+// epoch they belong to, cloned entirely from the immutable published
+// snapshot: no lock is taken and concurrent Apply batches are not delayed,
+// however large the graph. A caller holding a QueryResult with the same
+// epoch can re-verify the answer against these exact structures (see
+// verify.CheckServedAnswer).
+func (o *Oracle) Snapshot() (g, h *graph.Graph, epoch uint64) {
+	s := o.snap.Load()
+	return s.g.ToGraph(), s.spanner.ToGraph(), s.epoch
+}
+
+// SnapshotAt returns deep copies of the graph and spanner exactly as they
+// were at the given epoch, if that epoch is still within the retention
+// window (the most recent Config.SnapshotRetain epochs). This is how an
+// answer served from cache under churn is re-verified: the answer names the
+// epoch that produced it, and SnapshotAt recovers that epoch's state even
+// though later batches have moved the head on.
+func (o *Oracle) SnapshotAt(epoch uint64) (g, h *graph.Graph, ok bool) {
+	for s := o.snap.Load(); s != nil; s = s.prev.Load() {
+		if s.epoch == epoch {
+			return s.g.ToGraph(), s.spanner.ToGraph(), true
+		}
+		if s.epoch < epoch {
+			break
+		}
+	}
+	return nil, nil, false
+}
+
+// retained counts the snapshots currently reachable from the head.
+func (o *Oracle) retained() int {
+	count := 0
+	for s := o.snap.Load(); s != nil; s = s.prev.Load() {
+		count++
+	}
+	return count
+}

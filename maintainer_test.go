@@ -37,7 +37,7 @@ func TestChurnMaintainerPublicAPI(t *testing.T) {
 			}
 			b.Insert = append(b.Insert, ftspanner.EdgeUpdate{U: u, V: v})
 		}
-		if err := m.ApplyBatch(b); err != nil {
+		if _, err := m.ApplyBatch(b); err != nil {
 			t.Fatalf("batch %d: %v", batch, err)
 		}
 		rep, err := ftspanner.VerifySampled(m.Graph(), m.Spanner(), float64(opts.Stretch()),
