@@ -5,9 +5,15 @@
 // Usage:
 //
 //	ftbench [-experiment E7] [-quick] [-seed 12345] [-out results] [-parallel P] [-json]
+//	        [-series scale,build_par] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no -experiment flag, every registered experiment runs. Each table is
 // printed to stdout and written to <out>/<ID>.txt.
+//
+// -cpuprofile / -memprofile wrap the whole run (either mode) in the runtime
+// profiler and write go-tool-pprof files; combine with -json -series to
+// profile one measurement series in isolation (e.g. -series scale for the
+// million-node build).
 //
 // -json switches to the performance-trajectory harness instead: it
 // measures the hot paths (LBC decide on a warm searcher, modified greedy,
@@ -19,10 +25,13 @@
 // experiment (the same query workload replayed churn-free and under
 // sustained concurrent Apply batches: p50/p99.9 both ways, the cache hit
 // rate immediately after a batch under sharded invalidation, and the
-// incremental PatchCSR cost per batch vs a full BuildCSR), and spanner
-// sizes against the Theorem 8 bound, and writes the snapshot as
-// machine-readable BENCH_core.json in the -out directory, so successive
-// PRs can diff performance.
+// incremental PatchCSR cost per batch vs a full BuildCSR), the build_par
+// experiment (the batched-parallel modified greedy at several worker counts
+// vs the sequential baseline, with an identical-spanner determinism check
+// per point), and spanner sizes against the Theorem 8 bound, and writes the
+// snapshot as machine-readable BENCH_core.json in the -out directory, so
+// successive PRs can diff performance. -series restricts the harness to a
+// subset of those series.
 package main
 
 import (
@@ -32,6 +41,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ftspanner/internal/bench"
@@ -54,9 +65,38 @@ func run(args []string, stdout io.Writer) error {
 		list     = fs.Bool("list", false, "list experiments and exit")
 		jsonOut  = fs.Bool("json", false, "run the perf harness and write BENCH_core.json instead of the tables")
 		parallel = fs.Int("parallel", 0, "worker goroutines for the -json parallel measurement points (0 = GOMAXPROCS)")
+		series   = fs.String("series", "", "comma-separated -json series filter (benchmarks,spanners,churn,serve,serve_churn,scale,build_par); empty = all")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
+		memProf  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the live set so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ftbench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -67,7 +107,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *jsonOut {
-		return runJSON(bench.Config{Seed: *seed, Quick: *quick, Parallelism: *parallel}, *out, stdout)
+		return runJSON(bench.Config{Seed: *seed, Quick: *quick, Parallelism: *parallel, Series: *series}, *out, stdout)
 	}
 
 	var exps []bench.Experiment
@@ -134,7 +174,9 @@ func runJSON(cfg bench.Config, out string, stdout io.Writer) error {
 	for _, b := range res.Benchmarks {
 		fmt.Fprintf(stdout, "%-28s %14.0f ns/op %8.1f allocs/op\n", b.Name, b.NsPerOp, b.AllocsPerOp)
 	}
-	fmt.Fprintf(stdout, "verify speedup p%d vs p1: %.2fx\n", res.Parallelism, res.VerifySpeedup)
+	if res.VerifySpeedup > 0 { // zero means the benchmarks series was filtered out
+		fmt.Fprintf(stdout, "verify speedup p%d vs p1: %.2fx\n", res.Parallelism, res.VerifySpeedup)
+	}
 	for _, c := range res.Churn {
 		fmt.Fprintf(stdout, "churn %-10s n=%d -%d/+%d per batch: repair %8.0f ns/batch, rebuild %8.0f ns/batch (%.1fx)\n",
 			c.Workload, c.N, c.DelPerBatch, c.InsPerBatch, c.RepairNs, c.RebuildNs, c.Speedup)
@@ -159,6 +201,10 @@ func runJSON(cfg bench.Config, out string, stdout io.Writer) error {
 				sc.QueryBoundedCSRNs, sc.QueryFullSliceNs, sc.QuerySpeedup)
 		}
 		fmt.Fprintln(stdout)
+	}
+	for _, bp := range res.BuildPar {
+		fmt.Fprintf(stdout, "build_par %-9s n=%-8d w=%d: %8.0f ms, speedup %.2fx vs sequential, identical=%v, rounds=%d, redecided=%d\n",
+			bp.Workload, bp.N, bp.Workers, bp.BuildNs/1e6, bp.SpeedupVsSequential, bp.IdenticalSpanner, bp.Rounds, bp.Redecided)
 	}
 	fmt.Fprintf(stdout, "wrote %s (%.1fs)\n", path, res.ElapsedSec)
 	return nil

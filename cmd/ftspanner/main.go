@@ -5,13 +5,14 @@
 // Usage:
 //
 //	ftspanner -k 2 -f 2 [-mode vertex|edge] [-algorithm modified|exact|dk11|local|congest|greedy|baswana-sen]
-//	          [-in graph.txt] [-out spanner.txt] [-verify N] [-seed 1] [-parallel P]
+//	          [-in graph.txt] [-out spanner.txt] [-verify N] [-seed 1] [-parallel P] [-build-parallel P]
 //
 // The default algorithm is the paper's polynomial-time modified greedy.
 // Construction statistics go to stderr; -verify N additionally checks the
 // result against N random fault sets. -parallel sets the worker count for
-// the exact greedy's fault-set search and for verification (0 = all cores);
-// results are identical for every worker count.
+// the exact greedy's fault-set search and for verification; -build-parallel
+// sets it for the modified greedy construction itself (batched-parallel
+// rounds). 0 means all cores; results are identical for every worker count.
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		trials   = fs.Int("verify", 0, "verify the output against N random fault sets")
 		seed     = fs.Int64("seed", 1, "seed for randomized algorithms and verification")
 		parallel = fs.Int("parallel", 0, "worker goroutines for exact greedy and verification (0 = GOMAXPROCS)")
+		buildPar = fs.Int("build-parallel", 0, "worker goroutines for the modified greedy construction itself (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	opts := ftspanner.Options{K: *k, F: *f, Mode: fmode, Parallelism: *parallel}
+	opts := ftspanner.Options{K: *k, F: *f, Mode: fmode, Parallelism: *parallel, BuildParallelism: *buildPar}
 	rng := rand.New(rand.NewSource(*seed))
 	start := time.Now()
 	var h *ftspanner.Graph

@@ -125,6 +125,15 @@ type Options struct {
 	// instead). 0 selects GOMAXPROCS; 1 forces the sequential path.
 	// Results are byte-identical for every value.
 	Parallelism int
+	// BuildParallelism is the worker count for the modified greedy
+	// construction itself: Build, NewMaintainer's and NewOracle's initial
+	// build, and the maintainer's staleness-budget rebuild fallback. 0
+	// selects GOMAXPROCS; 1 forces the classic sequential loop. More than
+	// one worker runs the construction in deterministic speculate-then-
+	// commit rounds (see README "Parallel construction"); the spanner is
+	// byte-identical to the sequential build for every value, so the knob
+	// trades cores for wall-clock and nothing else.
+	BuildParallelism int
 	// StalenessBudget tunes NewMaintainer and NewOracle only: the fraction
 	// of live edges a deletion batch may invalidate before the maintainer
 	// rebuilds the spanner from scratch instead of repairing it edge by
@@ -163,7 +172,15 @@ func (o Options) Stretch() int { return core.Stretch(o.K) }
 // polynomial-time modified greedy algorithm (Algorithm 3 on unweighted
 // graphs, Algorithm 4 on weighted graphs). The output is a new subgraph of
 // g; g is not modified.
+//
+// With Options.BuildParallelism resolving to more than one worker the
+// construction runs in batched-parallel rounds; the returned spanner and
+// stats (besides the round counters) are byte-identical to the sequential
+// build either way.
 func Build(g *Graph, opts Options) (*Graph, Stats, error) {
+	if workers := sp.Workers(opts.BuildParallelism); workers > 1 {
+		return core.ModifiedGreedyBatched(g, opts.K, opts.F, opts.mode(), workers)
+	}
 	return core.ModifiedGreedy(g, opts.K, opts.F, opts.mode())
 }
 
@@ -313,10 +330,11 @@ func PatchCSR(prev *CSR, g *Graph, t TouchedSet) (*CSR, error) {
 // decide against the evolved spanner rather than the greedy prefix.
 func NewMaintainer(g *Graph, opts Options) (*Maintainer, error) {
 	return dynamic.New(g, dynamic.Config{
-		K:               opts.K,
-		F:               opts.F,
-		Mode:            opts.mode(),
-		StalenessBudget: opts.StalenessBudget,
+		K:                opts.K,
+		F:                opts.F,
+		Mode:             opts.mode(),
+		StalenessBudget:  opts.StalenessBudget,
+		BuildParallelism: opts.BuildParallelism,
 	})
 }
 
@@ -360,12 +378,13 @@ type OracleStats = oracle.Stats
 // guarantee, delivered as a service.
 func NewOracle(g *Graph, opts Options) (*Oracle, error) {
 	return oracle.New(g, oracle.Config{
-		K:               opts.K,
-		F:               opts.F,
-		Mode:            opts.mode(),
-		StalenessBudget: opts.StalenessBudget,
-		CacheCapacity:   opts.CacheCapacity,
-		SnapshotRetain:  opts.SnapshotRetain,
+		K:                opts.K,
+		F:                opts.F,
+		Mode:             opts.mode(),
+		StalenessBudget:  opts.StalenessBudget,
+		BuildParallelism: opts.BuildParallelism,
+		CacheCapacity:    opts.CacheCapacity,
+		SnapshotRetain:   opts.SnapshotRetain,
 	})
 }
 

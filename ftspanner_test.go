@@ -163,6 +163,35 @@ func TestParallelismKnobEquivalence(t *testing.T) {
 	}
 }
 
+// TestBuildParallelismKnobEquivalence: Build routes through the batched
+// engine when BuildParallelism resolves past one worker, and the spanner
+// and stats it returns are byte-identical to the sequential build.
+func TestBuildParallelismKnobEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := RandomConnectedGraph(rng, 48, 0.2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := Build(g, Options{K: 2, F: 1, BuildParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 2, 4} {
+		got, stats, err := Build(g, Options{K: 2, F: 1, BuildParallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsSubgraphOf(want) || !want.IsSubgraphOf(got) {
+			t.Errorf("BuildParallelism=%d: spanner differs from sequential", p)
+		}
+		if stats.EdgesAdded != wantStats.EdgesAdded ||
+			stats.EdgesConsidered != wantStats.EdgesConsidered ||
+			stats.BFSPasses != wantStats.BFSPasses {
+			t.Errorf("BuildParallelism=%d: stats diverged: %+v vs %+v", p, stats, wantStats)
+		}
+	}
+}
+
 func TestBuildExactSmall(t *testing.T) {
 	g := CompleteGraph(10)
 	exact, _, err := BuildExact(g, Options{K: 2, F: 1})

@@ -32,6 +32,26 @@ type Config struct {
 	// points of RunCoreBench (0 = GOMAXPROCS). The table experiments are
 	// sequential regardless, so their rows stay comparable across machines.
 	Parallelism int
+	// Series restricts RunCoreBench to a comma-separated subset of its
+	// measurement series (benchmarks, spanners, churn, serve, serve_churn,
+	// scale, build_par); empty runs everything. Profiling runs use it to
+	// capture one stage without the others polluting the profile, and CI
+	// smoke jobs use it to gate one series cheaply. Skipped series are
+	// simply absent (null) in the written JSON.
+	Series string
+}
+
+// wantSeries reports whether the Series filter selects the named series.
+func (c Config) wantSeries(name string) bool {
+	if c.Series == "" {
+		return true
+	}
+	for _, s := range strings.Split(c.Series, ",") {
+		if strings.TrimSpace(s) == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Table is one rendered experiment result.

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"ftspanner/internal/core"
+	"ftspanner/internal/gen"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/lbc"
+	"ftspanner/internal/sp"
+)
+
+// BuildParPoint is one row of the build_par series: the modified greedy
+// construction on the scale-series lattice at one worker count, against the
+// sequential baseline measured on the same graph. Workers == 1 rows ARE the
+// baseline (speedup 1 by definition); rows with more workers run the
+// batched speculate-then-commit engine and additionally verify — edge for
+// edge — that it produced the identical spanner, which is the determinism
+// contract CI gates on.
+//
+// Speedup is wall-clock and therefore hardware-bound: on a single-core
+// runner (GoMaxProcs 1 in the enclosing CoreBench) the batched engine can
+// only tie or lose to sequential, since speculation buys nothing without
+// cores to run it on. IdenticalSpanner must hold everywhere regardless.
+type BuildParPoint struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	K        int    `json:"k"`
+	F        int    `json:"f"`
+	// Workers is the batched engine's worker count; 1 marks the sequential
+	// baseline row.
+	Workers int `json:"workers"`
+	// BuildNs is this row's wall-clock; SequentialNs repeats the baseline's
+	// for ratio-taking without cross-row joins.
+	BuildNs             float64 `json:"build_ns"`
+	SequentialNs        float64 `json:"sequential_ns"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	// IdenticalSpanner reports the edge-for-edge comparison against the
+	// sequential baseline's spanner.
+	IdenticalSpanner bool `json:"identical_spanner"`
+	SpannerEdges     int  `json:"spanner_edges"`
+	// Rounds / Redecided echo the batched engine's Stats: how many
+	// speculate-then-commit rounds ran and how many decisions were
+	// invalidated and re-decided serially (0 on the baseline row).
+	Rounds    int `json:"rounds"`
+	Redecided int `json:"redecided"`
+}
+
+// graphsIdentical is the edge-for-edge spanner comparison: same vertex
+// count, same live edges under the same IDs with the same endpoints and
+// weights. Both inputs are freshly built spanners, so the ID space is dense.
+func graphsIdentical(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() || a.EdgeIDLimit() != b.EdgeIDLimit() {
+		return false
+	}
+	for id := 0; id < a.EdgeIDLimit(); id++ {
+		if a.EdgeAlive(id) != b.EdgeAlive(id) {
+			return false
+		}
+		if a.EdgeAlive(id) && a.Edge(id) != b.Edge(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// runBuildParBench produces the build_par series on the same weighted
+// lattice workload as the scale series (side×side grid, side²/20 shortcuts,
+// k=2, f=1, built on a CSR snapshot). Quick keeps the 10⁴ and 10⁵ points
+// with workers {2, 4} — the slice the CI smoke job gates — and the full run
+// adds 10⁶ and workers 8.
+func runBuildParBench(cfg Config) ([]BuildParPoint, error) {
+	const k, f = 2, 1
+	sizes := []int{10_000, 100_000}
+	workerCounts := []int{2, 4}
+	if !cfg.Quick {
+		sizes = append(sizes, 1_000_000)
+		workerCounts = []int{2, 4, 8}
+	}
+	var out []BuildParPoint
+	for _, n := range sizes {
+		side := scaleLatticeSide(n)
+		rng := rand.New(rand.NewSource(cfg.Seed + 400))
+		g, err := gen.Lattice(rng, side, side, side*side/20, true)
+		if err != nil {
+			return nil, err
+		}
+		csr := graph.BuildCSR(g)
+		base := BuildParPoint{
+			Workload: "lattice", N: csr.N(), M: csr.M(), K: k, F: f,
+			Workers: 1, SpeedupVsSequential: 1, IdenticalSpanner: true,
+		}
+		start := time.Now()
+		want, _, err := core.ModifiedGreedy(csr, k, f, lbc.Vertex)
+		if err != nil {
+			return nil, err
+		}
+		base.BuildNs = float64(time.Since(start).Nanoseconds())
+		base.SequentialNs = base.BuildNs
+		base.SpannerEdges = want.M()
+		out = append(out, base)
+		for _, w := range workerCounts {
+			ss := sp.NewSearcherSet(w, csr.N(), csr.EdgeIDLimit())
+			pt := base
+			pt.Workers = w
+			start = time.Now()
+			got, stats, err := core.ModifiedGreedyBatchedWith(ss, csr, k, f, lbc.Vertex)
+			if err != nil {
+				return nil, err
+			}
+			pt.BuildNs = float64(time.Since(start).Nanoseconds())
+			pt.SpeedupVsSequential = base.BuildNs / pt.BuildNs
+			pt.IdenticalSpanner = graphsIdentical(want, got)
+			pt.SpannerEdges = got.M()
+			pt.Rounds = stats.Rounds
+			pt.Redecided = stats.Redecided
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+// TestRunBuildParBenchQuick runs the exact slice the CI smoke job gates and
+// checks its invariants: a workers=1 baseline row per size, identical
+// spanners on every batched row, and speedup ratios derived from the
+// baseline's wall-clock.
+func TestRunBuildParBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds 10^5-node spanners")
+	}
+	pts, err := runBuildParBench(Config{Seed: 12345, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick slice: sizes {10^4, 10^5} x workers {1 (baseline), 2, 4}.
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6: %+v", len(pts), pts)
+	}
+	var base BuildParPoint
+	for _, p := range pts {
+		if !p.IdenticalSpanner {
+			t.Errorf("n=%d workers=%d: spanner not identical to sequential", p.N, p.Workers)
+		}
+		if p.Workers == 1 {
+			base = p
+			if p.SpeedupVsSequential != 1 || p.Rounds != 0 || p.Redecided != 0 {
+				t.Errorf("baseline row not a baseline: %+v", p)
+			}
+			continue
+		}
+		if p.N != base.N || p.SequentialNs != base.BuildNs {
+			t.Errorf("n=%d workers=%d: baseline linkage broken: %+v vs base %+v", p.N, p.Workers, p, base)
+		}
+		if p.SpannerEdges != base.SpannerEdges {
+			t.Errorf("n=%d workers=%d: edge count %d != baseline %d", p.N, p.Workers, p.SpannerEdges, base.SpannerEdges)
+		}
+		if p.Rounds < 1 {
+			t.Errorf("n=%d workers=%d: batched run reported no rounds", p.N, p.Workers)
+		}
+	}
+}
+
+func TestConfigSeriesFilter(t *testing.T) {
+	cases := []struct {
+		series, name string
+		want         bool
+	}{
+		{"", "scale", true},
+		{"build_par", "build_par", true},
+		{"build_par", "scale", false},
+		{"scale, build_par", "build_par", true},
+		{"scale,build_par", "serve", false},
+	}
+	for _, c := range cases {
+		if got := (Config{Series: c.series}).wantSeries(c.name); got != c.want {
+			t.Errorf("Series=%q wantSeries(%q) = %v, want %v", c.series, c.name, got, c.want)
+		}
+	}
+}

@@ -50,6 +50,11 @@ type CoreBench struct {
 	// snapshot, streaming IO, spanner build, repair, query variants)
 	// measured stage by stage at n = 10⁴..10⁶ (see ScalePoint).
 	Scale []ScalePoint `json:"scale"`
+	// BuildPar is the parallel-construction series: the batched
+	// speculate-then-commit greedy at workers × size against the sequential
+	// baseline, with the identical-spanner determinism check per point (see
+	// BuildParPoint).
+	BuildPar []BuildParPoint `json:"build_par"`
 }
 
 // BenchPoint is one measured hot path.
@@ -127,129 +132,154 @@ func RunCoreBench(cfg Config) (*CoreBench, error) {
 		Seed:        cfg.Seed,
 		Parallelism: workers,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	// Each series draws from its own rng (or its own cfg.Seed offset inside
+	// its run function), so the Series filter — and any future reordering —
+	// cannot shift another series' workload.
+	if cfg.wantSeries("benchmarks") {
+		rng := rand.New(rand.NewSource(cfg.Seed + 100))
 
-	// LBC gap decision on a warm searcher — the paper's per-edge edge test,
-	// pinned at 0 allocs/op by TestDecideWithZeroAllocs.
-	gLBC, err := gnpDegree(rng, greedyN, 16)
-	if err != nil {
-		return nil, err
-	}
-	searcher := sp.NewSearcher(gLBC.N(), gLBC.M())
-	out.Benchmarks = append(out.Benchmarks, benchPoint("lbc_decide_warm_searcher", target, func() {
-		if _, err := lbc.DecideWith(searcher, gLBC, 0, 1, 3, 4, lbc.Vertex); err != nil {
-			panic(err)
-		}
-	}))
-
-	// Full modified greedy build — the headline polynomial construction.
-	out.Benchmarks = append(out.Benchmarks, benchPoint("modified_greedy", target, func() {
-		if _, _, err := core.ModifiedGreedyWith(searcher, gLBC, 2, 2, lbc.Vertex); err != nil {
-			panic(err)
-		}
-	}))
-
-	// Exhaustive verification, sequential vs parallel, on one spanner.
-	gV, err := gnpDegree(rng, verifyN, 8)
-	if err != nil {
-		return nil, err
-	}
-	hV, _, err := core.ModifiedGreedy(gV, 2, 2, lbc.Vertex)
-	if err != nil {
-		return nil, err
-	}
-	verifyAt := func(w int) func() {
-		return func() {
-			rep, err := verify.ExhaustiveParallel(gV, hV, 3, 2, lbc.Vertex, w)
-			if err != nil {
-				panic(err)
-			}
-			if !rep.OK {
-				panic(rep.Violation)
-			}
-		}
-	}
-	p1 := benchPoint("verify_exhaustive_p1", target, verifyAt(1))
-	out.Benchmarks = append(out.Benchmarks, p1)
-	out.VerifySpeedup = 1
-	if workers > 1 {
-		// With one worker the parallel point would duplicate p1's name and
-		// compare a configuration against itself; skip it.
-		pN := benchPoint(fmtName("verify_exhaustive_p", workers), target, verifyAt(workers))
-		out.Benchmarks = append(out.Benchmarks, pN)
-		out.VerifySpeedup = p1.NsPerOp / pN.NsPerOp
-	}
-
-	// Exact greedy (the exponential baseline), sequential vs parallel.
-	gE, err := gnpDegree(rng, 14, 6)
-	if err != nil {
-		return nil, err
-	}
-	exactAt := func(w int) func() {
-		return func() {
-			if _, _, err := core.ExactGreedyParallel(gE, 2, 2, lbc.Vertex, w); err != nil {
-				panic(err)
-			}
-		}
-	}
-	out.Benchmarks = append(out.Benchmarks, benchPoint("exact_greedy_p1", target, exactAt(1)))
-	if workers > 1 {
-		out.Benchmarks = append(out.Benchmarks, benchPoint(fmtName("exact_greedy_p", workers), target, exactAt(workers)))
-	}
-
-	// Spanner size vs the Theorem 8 bound on the E1 workload shape.
-	sizeNs := []int{64, 128, 256}
-	if cfg.Quick {
-		sizeNs = []int{64, 128}
-	}
-	for _, n := range sizeNs {
-		g, err := gnpDegree(rng, n, n/4)
+		// LBC gap decision on a warm searcher — the paper's per-edge edge
+		// test, pinned at 0 allocs/op by TestDecideWithZeroAllocs.
+		gLBC, err := gnpDegree(rng, greedyN, 16)
 		if err != nil {
 			return nil, err
 		}
-		for _, kf := range [][2]int{{2, 1}, {2, 2}, {3, 2}} {
-			k, f := kf[0], kf[1]
-			h, _, err := core.ModifiedGreedy(g, k, f, lbc.Vertex)
+		searcher := sp.NewSearcher(gLBC.N(), gLBC.M())
+		out.Benchmarks = append(out.Benchmarks, benchPoint("lbc_decide_warm_searcher", target, func() {
+			if _, err := lbc.DecideWith(searcher, gLBC, 0, 1, 3, 4, lbc.Vertex); err != nil {
+				panic(err)
+			}
+		}))
+
+		// Full modified greedy build — the headline polynomial construction.
+		out.Benchmarks = append(out.Benchmarks, benchPoint("modified_greedy", target, func() {
+			if _, _, err := core.ModifiedGreedyWith(searcher, gLBC, 2, 2, lbc.Vertex); err != nil {
+				panic(err)
+			}
+		}))
+
+		// Exhaustive verification, sequential vs parallel, on one spanner.
+		gV, err := gnpDegree(rng, verifyN, 8)
+		if err != nil {
+			return nil, err
+		}
+		hV, _, err := core.ModifiedGreedy(gV, 2, 2, lbc.Vertex)
+		if err != nil {
+			return nil, err
+		}
+		verifyAt := func(w int) func() {
+			return func() {
+				rep, err := verify.ExhaustiveParallel(gV, hV, 3, 2, lbc.Vertex, w)
+				if err != nil {
+					panic(err)
+				}
+				if !rep.OK {
+					panic(rep.Violation)
+				}
+			}
+		}
+		p1 := benchPoint("verify_exhaustive_p1", target, verifyAt(1))
+		out.Benchmarks = append(out.Benchmarks, p1)
+		out.VerifySpeedup = 1
+		if workers > 1 {
+			// With one worker the parallel point would duplicate p1's name
+			// and compare a configuration against itself; skip it.
+			pN := benchPoint(fmtName("verify_exhaustive_p", workers), target, verifyAt(workers))
+			out.Benchmarks = append(out.Benchmarks, pN)
+			out.VerifySpeedup = p1.NsPerOp / pN.NsPerOp
+		}
+
+		// Exact greedy (the exponential baseline), sequential vs parallel.
+		gE, err := gnpDegree(rng, 14, 6)
+		if err != nil {
+			return nil, err
+		}
+		exactAt := func(w int) func() {
+			return func() {
+				if _, _, err := core.ExactGreedyParallel(gE, 2, 2, lbc.Vertex, w); err != nil {
+					panic(err)
+				}
+			}
+		}
+		out.Benchmarks = append(out.Benchmarks, benchPoint("exact_greedy_p1", target, exactAt(1)))
+		if workers > 1 {
+			out.Benchmarks = append(out.Benchmarks, benchPoint(fmtName("exact_greedy_p", workers), target, exactAt(workers)))
+		}
+	}
+
+	// Spanner size vs the Theorem 8 bound on the E1 workload shape.
+	if cfg.wantSeries("spanners") {
+		rng := rand.New(rand.NewSource(cfg.Seed + 102))
+		sizeNs := []int{64, 128, 256}
+		if cfg.Quick {
+			sizeNs = []int{64, 128}
+		}
+		for _, n := range sizeNs {
+			g, err := gnpDegree(rng, n, n/4)
 			if err != nil {
 				return nil, err
 			}
-			bound := core.SizeBound(n, k, f)
-			out.Spanners = append(out.Spanners, SpannerPoint{
-				N: n, M: g.M(), K: k, F: f,
-				Edges:     h.M(),
-				SizeBound: bound,
-				Ratio:     float64(h.M()) / bound,
-			})
+			for _, kf := range [][2]int{{2, 1}, {2, 2}, {3, 2}} {
+				k, f := kf[0], kf[1]
+				h, _, err := core.ModifiedGreedy(g, k, f, lbc.Vertex)
+				if err != nil {
+					return nil, err
+				}
+				bound := core.SizeBound(n, k, f)
+				out.Spanners = append(out.Spanners, SpannerPoint{
+					N: n, M: g.M(), K: k, F: f,
+					Edges:     h.M(),
+					SizeBound: bound,
+					Ratio:     float64(h.M()) / bound,
+				})
+			}
 		}
 	}
 
 	// Dynamic maintenance: batched repair vs from-scratch rebuild per batch.
-	churn, err := runChurnBench(cfg)
-	if err != nil {
-		return nil, err
+	if cfg.wantSeries("churn") {
+		churn, err := runChurnBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Churn = churn
 	}
-	out.Churn = churn
 
 	// Query serving: concurrent load generation against the oracle.
-	serve, err := runServeBench(cfg)
-	if err != nil {
-		return nil, err
+	if cfg.wantSeries("serve") {
+		serve, err := runServeBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Serve = serve
 	}
-	out.Serve = serve
 
 	// RCU serving under sustained concurrent churn.
-	serveChurn, err := runServeChurnBench(cfg)
-	if err != nil {
-		return nil, err
+	if cfg.wantSeries("serve_churn") {
+		serveChurn, err := runServeChurnBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.ServeChurn = serveChurn
 	}
-	out.ServeChurn = serveChurn
 
 	// Million-node scaling: the pipeline stage by stage per size point.
-	scale, err := runScaleBench(cfg)
-	if err != nil {
-		return nil, err
+	if cfg.wantSeries("scale") {
+		scale, err := runScaleBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Scale = scale
 	}
-	out.Scale = scale
+
+	// Parallel construction: the batched greedy vs the sequential baseline.
+	if cfg.wantSeries("build_par") {
+		buildPar, err := runBuildParBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.BuildPar = buildPar
+	}
 
 	out.ElapsedSec = time.Since(start).Seconds()
 	return out, nil

@@ -79,8 +79,12 @@ func scaleLatticeSide(n int) int {
 // runScaleLattice measures every pipeline stage on a side×side weighted
 // lattice with n/20 shortcuts. withSpanner gates the spanner build and the
 // query block; withRepair additionally gates the dynamic-maintenance stage
-// (which rebuilds internally, doubling the build cost).
-func runScaleLattice(seed int64, n int, withSpanner, withRepair bool) (ScalePoint, error) {
+// (which rebuilds internally, doubling the build cost). buildWorkers > 1
+// runs the spanner-build stage (and the maintainer's internal builds) on
+// the batched-parallel engine — the constructed spanner is byte-identical,
+// so the rest of the pipeline is unaffected; the dedicated build_par series
+// measures the worker sweep explicitly.
+func runScaleLattice(seed int64, n, buildWorkers int, withSpanner, withRepair bool) (ScalePoint, error) {
 	const k, f = 2, 1
 	side := scaleLatticeSide(n)
 	pt := ScalePoint{Workload: "lattice", K: k, F: f}
@@ -127,7 +131,12 @@ func runScaleLattice(seed int64, n int, withSpanner, withRepair bool) (ScalePoin
 	}
 
 	start = time.Now()
-	h, _, err := core.ModifiedGreedy(csr, k, f, lbc.Vertex)
+	var h *graph.Graph
+	if buildWorkers > 1 {
+		h, _, err = core.ModifiedGreedyBatched(csr, k, f, lbc.Vertex, buildWorkers)
+	} else {
+		h, _, err = core.ModifiedGreedy(csr, k, f, lbc.Vertex)
+	}
 	if err != nil {
 		return pt, err
 	}
@@ -135,7 +144,7 @@ func runScaleLattice(seed int64, n int, withSpanner, withRepair bool) (ScalePoin
 	pt.SpannerEdges = h.M()
 
 	if withRepair {
-		m, err := dynamic.New(g, dynamic.Config{K: k, F: f})
+		m, err := dynamic.New(g, dynamic.Config{K: k, F: f, BuildParallelism: buildWorkers})
 		if err != nil {
 			return pt, err
 		}
@@ -274,9 +283,12 @@ func runScaleBench(cfg Config) ([]ScalePoint, error) {
 		jobs = append(jobs, job{100_000, true, true}, job{1_000_000, true, false})
 		plSizes = append(plSizes, 100_000, 1_000_000)
 	}
+	// The spanner-build stage follows cfg.Parallelism (resolved like every
+	// other parallel point): sequential at 1 worker, batched-parallel above.
+	buildWorkers := sp.Workers(cfg.Parallelism)
 	var out []ScalePoint
 	for _, j := range jobs {
-		pt, err := runScaleLattice(cfg.Seed+300, j.n, j.withSpanner, j.withRepair)
+		pt, err := runScaleLattice(cfg.Seed+300, j.n, buildWorkers, j.withSpanner, j.withRepair)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
 	"ftspanner/internal/sp"
@@ -63,36 +61,32 @@ func ModifiedGreedyTraced(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode)
 	if err := validateParams(g, k, f, mode); err != nil {
 		return nil, nil, stats, err
 	}
-	if s == nil {
-		s = sp.NewSearcher(g.N(), g.EdgeIDLimit())
-	} else {
-		s.Grow(g.N(), g.EdgeIDLimit())
-	}
-	t := Stretch(k)
-	h := graph.NewLike(g)
 	order := considerationOrder(g)
-	decisions := make([]EdgeDecision, 0, len(order))
-	for _, id := range order {
-		e := g.Edge(id)
-		stats.EdgesConsidered++
-		res, err := lbc.DecideWith(s, h, e.U, e.V, t, f, mode)
-		if err != nil {
-			return nil, nil, stats, fmt.Errorf("core: LBC on edge {%d,%d}: %w", e.U, e.V, err)
-		}
-		stats.BFSPasses += res.Passes
-		dec := EdgeDecision{GEdgeID: id, HEdgeID: -1, Passes: res.Passes}
-		if res.Yes {
-			dec.Added = true
-			dec.HEdgeID = h.MustAddEdgeW(e.U, e.V, e.W)
-			// res.Cut aliases the searcher's scratch; copy to retain.
-			dec.Cut = append([]int(nil), res.Cut...)
-		} else {
-			dec.Witness = append([]int(nil), res.PathEdges...)
-		}
-		decisions = append(decisions, dec)
+	decisions, sink := decisionCollector(len(order))
+	h, err := greedySequential(s, g, k, f, mode, order, &stats, sink)
+	if err != nil {
+		return nil, nil, stats, err
 	}
-	stats.EdgesAdded = h.M()
-	return h, decisions, stats, nil
+	return h, *decisions, stats, nil
+}
+
+// decisionCollector returns a sink that appends every decision to a fresh
+// EdgeDecision list, shared by the sequential and batched traced builds.
+// The engine hands the sink retainable copies, so the collector stores the
+// slices as-is.
+func decisionCollector(capacity int) (*[]EdgeDecision, traceSink) {
+	decisions := make([]EdgeDecision, 0, capacity)
+	sink := func(gid, hID int, yes bool, passes int, cut, witness []int) {
+		decisions = append(decisions, EdgeDecision{
+			GEdgeID: gid,
+			Added:   yes,
+			HEdgeID: hID,
+			Cut:     cut,
+			Witness: witness,
+			Passes:  passes,
+		})
+	}
+	return &decisions, sink
 }
 
 // ModifiedGreedyWithCertificates is ModifiedGreedy (vertex faults only)

@@ -38,8 +38,10 @@ type Stats struct {
 	EdgesConsidered int
 	// EdgesAdded is the number of edges in the returned spanner.
 	EdgesAdded int
-	// BFSPasses is the total number of hop-bounded BFS passes across all LBC
-	// calls (ModifiedGreedy only).
+	// BFSPasses is the total number of hop-bounded BFS passes across all
+	// committed LBC decisions (ModifiedGreedy family only). Identical for
+	// every execution mode and worker count: the batched builder counts the
+	// passes of the decision it committed, not of mis-speculations.
 	BFSPasses int
 	// FaultSetsTried is the total number of fault sets enumerated
 	// (ExactGreedy only). With one worker this count is deterministic; under
@@ -47,6 +49,16 @@ type Stats struct {
 	// before the early exit, which can exceed the sequential count and vary
 	// between runs. The constructed spanner is identical either way.
 	FaultSetsTried int64
+	// Rounds is the number of speculate-then-commit rounds executed
+	// (ModifiedGreedyBatched with more than one worker only; 0 on the
+	// sequential paths).
+	Rounds int
+	// Redecided counts speculative decisions that were invalidated by an
+	// earlier commit in their round and re-decided serially against the
+	// updated spanner (ModifiedGreedyBatched only). Deterministic per input:
+	// the conflict test depends on decision read sets and committed accepts,
+	// not on the worker count or scheduling.
+	Redecided int
 }
 
 func validateParams(g graph.View, k, f int, mode lbc.Mode) error {
@@ -102,6 +114,16 @@ func ModifiedGreedyWith(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode) (
 	return modifiedGreedy(s, g, k, f, mode, considerationOrder(g))
 }
 
+// traceSink receives the final, canonical-order decision for every
+// considered edge: the spanner edge ID on YES (-1 otherwise), the BFS pass
+// count, and — when the engine runs in traced mode — a retainable copy of
+// the YES cut certificate or the NO coverage witness (nil sink fields
+// otherwise, and nil slices when the sink itself is what requested no
+// copies). Every ModifiedGreedy* variant is this one edge loop plus a sink:
+// the plain builds pass a nil sink, the traced builds collect EdgeDecisions,
+// and the batched build drives the same sink from its commit phase.
+type traceSink func(gid, hID int, yes bool, passes int, cut, witness []int)
+
 func modifiedGreedy(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode, order []int) (*graph.Graph, Stats, error) {
 	var stats Stats
 	if err := validateParams(g, k, f, mode); err != nil {
@@ -110,10 +132,20 @@ func modifiedGreedy(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode, order
 	if err := checkOrder(g, order); err != nil {
 		return nil, stats, err
 	}
+	h, err := greedySequential(s, g, k, f, mode, order, &stats, nil)
+	return h, stats, err
+}
+
+// greedySequential is the sequential edge loop shared by ModifiedGreedy,
+// ModifiedGreedyWith, ModifiedGreedyWithOrder, and ModifiedGreedyTraced:
+// one lbc decision per edge in consideration order against the spanner so
+// far. Parameters are assumed validated. A non-nil sink receives every
+// decision with retainable certificate copies.
+func greedySequential(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode, order []int, stats *Stats, sink traceSink) (*graph.Graph, error) {
 	if s == nil {
-		s = sp.NewSearcher(g.N(), g.M())
+		s = sp.NewSearcher(g.N(), g.EdgeIDLimit())
 	} else {
-		s.Grow(g.N(), g.M())
+		s.Grow(g.N(), g.EdgeIDLimit())
 	}
 	t := Stretch(k)
 	h := graph.NewLike(g)
@@ -122,15 +154,32 @@ func modifiedGreedy(s *sp.Searcher, g graph.View, k, f int, mode lbc.Mode, order
 		stats.EdgesConsidered++
 		res, err := lbc.DecideWith(s, h, e.U, e.V, t, f, mode)
 		if err != nil {
-			return nil, stats, fmt.Errorf("core: LBC on edge {%d,%d}: %w", e.U, e.V, err)
+			return nil, fmt.Errorf("core: LBC on edge {%d,%d}: %w", e.U, e.V, err)
 		}
 		stats.BFSPasses += res.Passes
+		hid := -1
 		if res.Yes {
-			h.MustAddEdgeW(e.U, e.V, e.W)
+			hid = h.MustAddEdgeW(e.U, e.V, e.W)
+		}
+		if sink != nil {
+			// res.Cut / res.PathEdges alias searcher scratch; hand the sink
+			// copies it may retain.
+			if res.Yes {
+				sink(id, hid, true, res.Passes, cloneInts(res.Cut), nil)
+			} else {
+				sink(id, -1, false, res.Passes, nil, cloneInts(res.PathEdges))
+			}
 		}
 	}
 	stats.EdgesAdded = h.M()
-	return h, stats, nil
+	return h, nil
+}
+
+// cloneInts copies a scratch-aliasing slice into a retainable one. A nil or
+// empty input stays nil, matching the historical EdgeDecision encoding
+// (append([]int(nil), nil...) == nil).
+func cloneInts(a []int) []int {
+	return append([]int(nil), a...)
 }
 
 // ExactGreedy builds an f-fault-tolerant (2k-1)-spanner of g using the

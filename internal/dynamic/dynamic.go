@@ -64,6 +64,15 @@ type Config struct {
 	// scratch instead of repairing. 0 (or negative) selects
 	// DefaultStalenessBudget; values >= 1 effectively disable rebuilds.
 	StalenessBudget float64
+	// BuildParallelism is the worker count for full traced builds — the
+	// initial construction and every staleness-budget rebuild fallback.
+	// Values <= 0 select GOMAXPROCS; 1 forces the sequential builder. More
+	// than one worker routes full builds through the batched engine
+	// (core.ModifiedGreedyBatchedTraced), whose spanner and trace are
+	// byte-identical to the sequential build, so the knob changes wall-clock
+	// only — never the maintained state. Per-edge repair decisions are
+	// unaffected (they are individually tiny).
+	BuildParallelism int
 }
 
 // Stats exposes the Maintainer's effort counters. All counters are
@@ -93,6 +102,11 @@ type Stats struct {
 	// one plus every rebuild).
 	RepairBatches, RebuildBatches int
 	FullBuilds                    int
+	// BuildParallelism is the resolved full-build worker count in effect.
+	// BatchedBuilds counts the FullBuilds that ran on the batched engine
+	// (all of them when BuildParallelism > 1, none otherwise).
+	BuildParallelism int
+	BatchedBuilds    int
 }
 
 // Delta reports what one committed batch changed, in the vocabulary of
@@ -147,12 +161,16 @@ type edgeState struct {
 // one warm searcher, and applies batched updates to both. Not safe for
 // concurrent use.
 type Maintainer struct {
-	cfg    Config
-	budget float64
-	t      int // stretch 2K-1
-	g      *graph.Graph
-	h      *graph.Graph
-	s      *sp.Searcher
+	cfg     Config
+	budget  float64
+	workers int // resolved full-build parallelism
+	t       int // stretch 2K-1
+	g       *graph.Graph
+	h       *graph.Graph
+	// ss holds one searcher per full-build worker; s aliases ss.Get(0) and
+	// serves every sequential decision (repairs, insertions).
+	ss *sp.SearcherSet
+	s  *sp.Searcher
 
 	// state[gid] is the certificate of live graph edge gid.
 	state []edgeState
@@ -178,14 +196,18 @@ func New(g *graph.Graph, cfg Config) (*Maintainer, error) {
 	if budget <= 0 {
 		budget = DefaultStalenessBudget
 	}
+	workers := sp.Workers(cfg.BuildParallelism)
 	m := &Maintainer{
-		cfg:    cfg,
-		budget: budget,
-		t:      core.Stretch(cfg.K),
-		g:      g.Clone(),
-		s:      sp.NewSearcher(g.N(), g.EdgeIDLimit()),
+		cfg:     cfg,
+		budget:  budget,
+		workers: workers,
+		t:       core.Stretch(cfg.K),
+		g:       g.Clone(),
+		ss:      sp.NewSearcherSet(workers, g.N(), g.EdgeIDLimit()),
 	}
+	m.s = m.ss.Get(0)
 	m.stats.StalenessBudget = budget
+	m.stats.BuildParallelism = workers
 	if err := m.rebuild(); err != nil {
 		return nil, err
 	}
@@ -197,6 +219,7 @@ func New(g *graph.Graph, cfg Config) (*Maintainer, error) {
 func (m *Maintainer) Config() Config {
 	cfg := m.cfg
 	cfg.StalenessBudget = m.budget
+	cfg.BuildParallelism = m.workers
 	return cfg
 }
 
@@ -212,11 +235,23 @@ func (m *Maintainer) Spanner() *graph.Graph { return m.h }
 func (m *Maintainer) Stats() Stats { return m.stats }
 
 // rebuild reconstructs the spanner and every certificate table from scratch
-// with one traced greedy build on the current graph.
+// with one traced greedy build on the current graph. With BuildParallelism
+// > 1 the build runs on the batched engine, which produces a byte-identical
+// spanner and trace, so the two paths are interchangeable state-wise.
 func (m *Maintainer) rebuild() error {
-	h, decisions, _, err := core.ModifiedGreedyTraced(m.s, m.g, m.cfg.K, m.cfg.F, m.cfg.Mode)
+	var h *graph.Graph
+	var decisions []core.EdgeDecision
+	var err error
+	if m.workers > 1 {
+		h, decisions, _, err = core.ModifiedGreedyBatchedTraced(m.ss, m.g, m.cfg.K, m.cfg.F, m.cfg.Mode)
+	} else {
+		h, decisions, _, err = core.ModifiedGreedyTraced(m.s, m.g, m.cfg.K, m.cfg.F, m.cfg.Mode)
+	}
 	if err != nil {
 		return fmt.Errorf("dynamic: build: %w", err)
+	}
+	if m.workers > 1 {
+		m.stats.BatchedBuilds++
 	}
 	m.h = h
 	m.state = make([]edgeState, m.g.EdgeIDLimit())

@@ -117,6 +117,14 @@ func Decide(g graph.View, u, v, t, alpha int, mode Mode) (Result, error) {
 // that retain them must copy. The searcher's fault mask is reset on entry
 // and on exit (both O(1)), so s carries no state between calls and stays
 // safe for direct Dist/BFS use afterwards.
+//
+// Concurrency contract (audited for core.ModifiedGreedyBatched): DecideWith
+// treats g strictly read-only — every mutation it performs (fault mask,
+// scratch, BFS state, the optional expanded-vertex log) lands in s. Distinct
+// Searchers may therefore run DecideWith concurrently against a shared
+// frozen View with no synchronization; a single Searcher never may. Any
+// future code on this path that wants to cache or memoize into the graph
+// must not: put per-call state in the Searcher.
 func DecideWith(s *sp.Searcher, g graph.View, u, v, t, alpha int, mode Mode) (Result, error) {
 	s.ResetBlocked()
 	return DecideWithBlocked(s, g, u, v, t, alpha, mode)

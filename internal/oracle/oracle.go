@@ -76,6 +76,12 @@ type Config struct {
 	Mode lbc.Mode
 	// StalenessBudget is passed through to the dynamic.Maintainer.
 	StalenessBudget float64
+	// BuildParallelism is passed through to the dynamic.Maintainer: the
+	// worker count for the oracle's initial spanner build and every
+	// staleness-budget rebuild (<= 0 selects GOMAXPROCS, 1 forces the
+	// sequential builder). The constructed spanner is byte-identical at
+	// every setting.
+	BuildParallelism int
 	// CacheCapacity bounds the result cache's total entries. 0 selects
 	// DefaultCacheCapacity; negative disables caching entirely.
 	CacheCapacity int
@@ -282,19 +288,22 @@ func (o *Oracle) getSearcher(shard int) *sp.Searcher {
 // returns an Oracle serving queries on it. g is cloned and never mutated.
 func New(g *graph.Graph, cfg Config) (*Oracle, error) {
 	m, err := dynamic.New(g, dynamic.Config{
-		K:               cfg.K,
-		F:               cfg.F,
-		Mode:            cfg.Mode,
-		StalenessBudget: cfg.StalenessBudget,
+		K:                cfg.K,
+		F:                cfg.F,
+		Mode:             cfg.Mode,
+		StalenessBudget:  cfg.StalenessBudget,
+		BuildParallelism: cfg.BuildParallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("oracle: %w", err)
 	}
 	// Adopt the maintainer's resolved knobs (Mode normalized to Vertex,
-	// StalenessBudget defaulted) so Config() reports what actually runs.
+	// StalenessBudget defaulted, BuildParallelism resolved) so Config()
+	// reports what actually runs.
 	mc := m.Config()
 	cfg.Mode = mc.Mode
 	cfg.StalenessBudget = mc.StalenessBudget
+	cfg.BuildParallelism = mc.BuildParallelism
 	if cfg.SnapshotRetain == 0 {
 		cfg.SnapshotRetain = DefaultSnapshotRetain
 	}

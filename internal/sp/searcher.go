@@ -37,7 +37,10 @@ func Workers(requested int) int {
 //
 // A Searcher is NOT safe for concurrent use; give each goroutine its own
 // (see verify.ExhaustiveParallel and core.ExactGreedyParallel for the
-// pattern).
+// pattern, and SearcherSet for the helper). Distinct Searchers MAY run
+// concurrently against the same graph.View as long as nothing mutates the
+// view: every search reads the graph through View accessors only and keeps
+// all mutable state (scratch, masks, logs) on the Searcher itself.
 type Searcher struct {
 	// Per-vertex search scratch. dist/wdist/parent entries are valid only
 	// when the matching seen stamp equals the current epoch, so clearing
@@ -82,6 +85,11 @@ type Searcher struct {
 	// callers that accumulate two ID streams at once (lbc.DecideWith builds
 	// its path-edge witness here while the cut grows in Scratch).
 	Aux []int
+
+	// Expanded-vertex log (see StartExpandedLog): when enabled, every BFS
+	// records the vertices whose adjacency rows it scanned.
+	logExpanded bool
+	expanded    []int
 }
 
 type heapItem struct {
@@ -190,6 +198,35 @@ func (s *Searcher) VertexBlocked(u int) bool { return s.blockV[u] == s.blockEpoc
 // EdgeBlocked reports whether edge id is currently blocked.
 func (s *Searcher) EdgeBlocked(id int) bool { return s.blockE[id] == s.blockEpoch }
 
+// StartExpandedLog begins recording the read set of subsequent hop-based
+// searches: every vertex a BFS dequeues for expansion (a superset of the
+// vertices whose adjacency rows it scans) is appended to an internal log,
+// accumulated across searches until StopExpandedLog. The log is what makes
+// speculative parallel execution auditable: a BFS trajectory on a view is a
+// pure function of the adjacency rows it scanned, so if none of those rows
+// changed, re-running the search yields byte-identical results — the
+// conflict test of core.ModifiedGreedyBatched. Entries may repeat across
+// passes; consumers treat the log as a set.
+//
+// Only the BFS family records (the LBC decide path); Dijkstra does not.
+// Logging performs no allocation once the buffer is warm (it is sized to
+// the vertex count on first use).
+func (s *Searcher) StartExpandedLog() {
+	if cap(s.expanded) < len(s.dist) {
+		s.expanded = make([]int, 0, len(s.dist))
+	}
+	s.expanded = s.expanded[:0]
+	s.logExpanded = true
+}
+
+// StopExpandedLog ends recording and returns the accumulated log. The slice
+// aliases the Searcher's internal buffer: valid until the next
+// StartExpandedLog, copy to retain.
+func (s *Searcher) StopExpandedLog() []int {
+	s.logExpanded = false
+	return s.expanded
+}
+
 // BFS computes hop distances from src in g minus the Searcher's fault mask.
 // Read results with HopDistTo.
 func (s *Searcher) BFS(g graph.View, src int) {
@@ -220,6 +257,9 @@ func (s *Searcher) bfs(g graph.View, src, maxHops, target int) {
 	q = append(q, src)
 	for head := 0; head < len(q); head++ {
 		u := q[head]
+		if s.logExpanded {
+			s.expanded = append(s.expanded, u)
+		}
 		du := s.dist[u]
 		if du >= maxHops {
 			continue

@@ -1,0 +1,49 @@
+package sp
+
+// SearcherSet is a fixed group of Searchers, one per worker, for the
+// deterministic worker pools (core.ModifiedGreedyBatched, and any caller
+// that fans one search-heavy loop across goroutines). Each worker indexes
+// its own Searcher with Get, so the set as a whole supports the standard
+// concurrency contract: distinct Searchers may run concurrently against a
+// shared read-only graph.View; one Searcher never may.
+//
+// The set exists so the per-worker scratch survives across rounds and across
+// builds: allocating searchers per round (or per build) costs O(workers·n)
+// per allocation and was measured to dominate small-round schedules. Callers
+// construct one set, pass it to every build, and the scratch is grown once
+// and reused forever (pinned by TestSearcherSetReuse and the batched
+// builder's allocation tests).
+//
+// The SearcherSet itself is not safe for concurrent mutation: call Grow from
+// one goroutine, between parallel phases.
+type SearcherSet struct {
+	searchers []*Searcher
+}
+
+// NewSearcherSet returns a set of `workers` Searchers (workers <= 0 selects
+// GOMAXPROCS, like Workers), each preallocated for graphs with up to n
+// vertices and m edges. Pass 0, 0 to size lazily on first use.
+func NewSearcherSet(workers, n, m int) *SearcherSet {
+	workers = Workers(workers)
+	ss := &SearcherSet{searchers: make([]*Searcher, workers)}
+	for i := range ss.searchers {
+		ss.searchers[i] = NewSearcher(n, m)
+	}
+	return ss
+}
+
+// Len returns the number of Searchers in the set — the worker count of the
+// pools built on it.
+func (ss *SearcherSet) Len() int { return len(ss.searchers) }
+
+// Get returns worker i's Searcher. The pointer is stable for the life of
+// the set: repeated builds reuse the same scratch.
+func (ss *SearcherSet) Get(i int) *Searcher { return ss.searchers[i] }
+
+// Grow ensures every Searcher in the set can serve a graph with n vertices
+// and m edges without further allocation.
+func (ss *SearcherSet) Grow(n, m int) {
+	for _, s := range ss.searchers {
+		s.Grow(n, m)
+	}
+}

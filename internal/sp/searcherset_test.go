@@ -1,0 +1,43 @@
+package sp
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSearcherSetReuse pins the contract the batched builder depends on:
+// Get returns stable per-worker pointers, every searcher is distinct, and
+// Grow resizes all of them in place without replacing any.
+func TestSearcherSetReuse(t *testing.T) {
+	ss := NewSearcherSet(4, 16, 32)
+	if ss.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ss.Len())
+	}
+	first := make([]*Searcher, ss.Len())
+	for i := range first {
+		first[i] = ss.Get(i)
+		for j := 0; j < i; j++ {
+			if first[j] == first[i] {
+				t.Fatalf("workers %d and %d share a Searcher", j, i)
+			}
+		}
+	}
+	ss.Grow(1024, 4096)
+	for i := range first {
+		if ss.Get(i) != first[i] {
+			t.Fatalf("worker %d: Grow replaced the Searcher", i)
+		}
+		if got := len(ss.Get(i).dist); got < 1024 {
+			t.Fatalf("worker %d: dist len %d after Grow(1024, 4096)", i, got)
+		}
+	}
+}
+
+func TestSearcherSetDefaultWorkers(t *testing.T) {
+	for _, req := range []int{0, -3} {
+		if got := NewSearcherSet(req, 0, 0).Len(); got != runtime.GOMAXPROCS(0) {
+			t.Fatalf("NewSearcherSet(%d).Len() = %d, want GOMAXPROCS %d",
+				req, got, runtime.GOMAXPROCS(0))
+		}
+	}
+}
