@@ -28,10 +28,11 @@
 // incremental PatchCSR cost per batch vs a full BuildCSR), the build_par
 // experiment (the batched-parallel modified greedy at several worker counts
 // vs the sequential baseline, with an identical-spanner determinism check
-// per point), and spanner sizes against the Theorem 8 bound, and writes the
-// snapshot as machine-readable BENCH_core.json in the -out directory, so
-// successive PRs can diff performance. -series restricts the harness to a
-// subset of those series.
+// per point), the recover experiment (fsync-always WAL apply vs log replay,
+// crash-recovery identity, checkpoint cost), and spanner sizes against the
+// Theorem 8 bound, and writes the snapshot as machine-readable
+// BENCH_core.json in the -out directory, so successive PRs can diff
+// performance. -series restricts the harness to a subset of those series.
 package main
 
 import (
@@ -65,7 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		list     = fs.Bool("list", false, "list experiments and exit")
 		jsonOut  = fs.Bool("json", false, "run the perf harness and write BENCH_core.json instead of the tables")
 		parallel = fs.Int("parallel", 0, "worker goroutines for the -json parallel measurement points (0 = GOMAXPROCS)")
-		series   = fs.String("series", "", "comma-separated -json series filter (benchmarks,spanners,churn,serve,serve_churn,scale,build_par); empty = all")
+		series   = fs.String("series", "", "comma-separated -json series filter (benchmarks,spanners,churn,serve,serve_churn,scale,build_par,recover); empty = all")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
 		memProf  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
@@ -205,6 +206,10 @@ func runJSON(cfg bench.Config, out string, stdout io.Writer) error {
 	for _, bp := range res.BuildPar {
 		fmt.Fprintf(stdout, "build_par %-9s n=%-8d w=%d: %8.0f ms, speedup %.2fx vs sequential, identical=%v, rounds=%d, redecided=%d\n",
 			bp.Workload, bp.N, bp.Workers, bp.BuildNs/1e6, bp.SpeedupVsSequential, bp.IdenticalSpanner, bp.Rounds, bp.Redecided)
+	}
+	for _, rp := range res.Recover {
+		fmt.Fprintf(stdout, "recover n=%-8d %d batches: apply %8.0f ns/batch vs replay %8.0f ns/batch (%.1fx), recover total %6.0f ms, identical=%v (%d queries checked)\n",
+			rp.N, rp.Batches, rp.ApplyNsPerBatch, rp.ReplayNsPerBatch, rp.ReplaySpeedup, rp.RecoverTotalNs/1e6, rp.RecoveredIdentical, rp.QueriesChecked)
 	}
 	fmt.Fprintf(stdout, "wrote %s (%.1fs)\n", path, res.ElapsedSec)
 	return nil

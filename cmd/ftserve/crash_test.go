@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ftspanner/internal/graph"
+	"ftspanner/internal/oracle"
+	"ftspanner/internal/verify"
+	"ftspanner/internal/wal"
+)
+
+// childArgsEnv re-execs the test binary as a real ftserve process: TestMain
+// sees the variable and runs the server instead of the tests, so the crash
+// test below can kill -9 an actual OS process (in-process shutdown cannot
+// exercise torn files and lost page cache the way SIGKILL does).
+const childArgsEnv = "FTSERVE_UNDER_TEST_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(childArgsEnv); args != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		err := run(ctx, strings.Split(args, "\x1f"), os.Stdout)
+		stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftserve child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// child is one ftserve OS process started from the test binary.
+type child struct {
+	cmd  *exec.Cmd
+	base string
+	out  *syncBuf
+}
+
+// startChild execs the server and scans its stdout for the listen line.
+func startChild(t *testing.T, args ...string) *child {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), childArgsEnv+"="+strings.Join(args, "\x1f"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := &child{cmd: cmd, out: &syncBuf{}}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			c.out.Write([]byte(line + "\n"))
+			if rest, ok := strings.CutPrefix(line, "ftserve: listening on "); ok {
+				select {
+				case addrc <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		c.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("child never printed the listen line\n%s", c.out.String())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(c.base + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return c
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("child never became ready\n%s", c.out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// copyDir clones the WAL directory so an in-process reference recovery can
+// run on a snapshot while the restarted child recovers the original.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func getSnapshot(t *testing.T, base string) oracle.SnapshotResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap oracle.SnapshotResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// writeGraphText renders g the way GET /snapshot does, so recovered state
+// can be compared byte for byte over HTTP.
+func writeGraphText(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	var b strings.Builder
+	if err := graph.Write(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// The headline e2e: a real ftserve process is SIGKILLed mid-churn and the
+// restart recovers the exact durable state — same epoch, byte-identical
+// graph and spanner dumps — and every sampled post-recovery answer verifies
+// against an independent in-process recovery of the same log.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	const (
+		n, deg  = 256, 6
+		seed    = int64(3)
+		batches = 20
+	)
+	walDir := filepath.Join(t.TempDir(), "wal")
+	args := []string{
+		"-addr", "127.0.0.1:0", "-n", fmt.Sprint(n), "-deg", fmt.Sprint(deg),
+		"-seed", fmt.Sprint(seed), "-k", "2", "-f", "1",
+		"-wal", walDir, "-checkpoint-every", "8", "-fsync", "always",
+		"-drain-grace", "10ms",
+	}
+	c1 := startChild(t, args...)
+
+	// Drive churn from a local mirror of the generated graph so every batch
+	// is valid; every acknowledged batch is fsynced and must survive.
+	mirror, _, err := loadGraph("", n, deg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var acked uint64
+	for i := 0; i < batches; i++ {
+		acked = postBatch(t, c1.base, nextBatch(t, mirror, rng, 3, 3)).Epoch
+	}
+
+	// kill -9: no drain, no final sync beyond what each append already did.
+	if err := c1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.cmd.Wait(); err == nil {
+		t.Fatal("SIGKILLed child exited cleanly")
+	}
+
+	// Reference: recover a snapshot of the log in-process.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	copyDir(t, walDir, refDir)
+	refWAL, err := wal.Open(wal.Options{Dir: refDir, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, info, err := oracle.Recover(refWAL, oracle.Config{K: 2, F: 1, CheckpointEvery: 8})
+	if err != nil {
+		t.Fatalf("reference recovery: %v", err)
+	}
+	defer ref.Close()
+	if info.Epoch != acked {
+		t.Fatalf("reference recovered epoch %d, last acknowledged %d", info.Epoch, acked)
+	}
+	refG, refH, refEpoch := ref.Snapshot()
+
+	// Restart on the surviving directory.
+	c2 := startChild(t, args...)
+	if !strings.Contains(c2.out.String(), "recovered from") {
+		t.Fatalf("restart did not recover:\n%s", c2.out.String())
+	}
+	snap := getSnapshot(t, c2.base)
+	if snap.Epoch != refEpoch {
+		t.Fatalf("recovered epoch %d, reference %d", snap.Epoch, refEpoch)
+	}
+	if snap.Graph != writeGraphText(t, refG) {
+		t.Fatal("recovered graph dump differs from reference recovery")
+	}
+	if snap.Spanner != writeGraphText(t, refH) {
+		t.Fatal("recovered spanner dump differs from reference recovery")
+	}
+
+	// 1000 sampled queries, each re-derived against the reference spanner.
+	qrng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		u, v := qrng.Intn(n), qrng.Intn(n)
+		if u == v {
+			continue
+		}
+		url := fmt.Sprintf("%s/query?u=%d&v=%d", c2.base, u, v)
+		var faults []int
+		if qrng.Intn(2) == 0 {
+			f := qrng.Intn(n)
+			if f != u && f != v {
+				faults = []int{f}
+				url += fmt.Sprintf("&faults=%d", f)
+			}
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q oracle.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		dist := q.Distance
+		if !q.Reachable {
+			dist = math.Inf(1)
+		}
+		ans := verify.ServedAnswer{U: u, V: v, Dist: dist, Path: q.Path, FaultVertices: faults}
+		if err := verify.CheckServedAnswer(refH, ans); err != nil {
+			t.Fatalf("query %d (u=%d v=%d faults=%v): %v", i, u, v, faults, err)
+		}
+	}
+
+	// Writes flow again post-recovery, and SIGTERM still shuts down cleanly.
+	if br := postBatch(t, c2.base, nextBatch(t, mirror, rng, 1, 1)); br.Epoch <= refEpoch {
+		t.Fatalf("post-recovery batch epoch %d did not advance past %d", br.Epoch, refEpoch)
+	}
+	if err := c2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c2.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("clean shutdown after recovery: %v\n%s", err, c2.out.String())
+		}
+	case <-time.After(15 * time.Second):
+		c2.cmd.Process.Kill()
+		t.Fatalf("child did not exit on SIGTERM\n%s", c2.out.String())
+	}
+	if !strings.Contains(c2.out.String(), "shut down cleanly") {
+		t.Fatalf("no clean-shutdown line:\n%s", c2.out.String())
+	}
+}

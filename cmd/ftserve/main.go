@@ -6,20 +6,38 @@
 // searcher pools, a partition-sharded epoch-stamped result cache that churn
 // batches invalidate only where they touched), and exposes the JSON API:
 //
-//	GET  /healthz                      liveness + current epoch
-//	GET  /stats                        query/cache/churn counters
+//	GET  /healthz                      liveness + current epoch + degraded flag
+//	GET  /readyz                       readiness (503 while booting/degraded/draining)
+//	GET  /stats                        query/cache/churn/durability counters
 //	GET  /query?u=0&v=5&faults=2,7     distance + path under a fault set
 //	POST /query                        same, JSON body (see oracle.QueryRequest)
 //	POST /batch                        atomic edge insert/delete batch (churn)
+//	GET  /snapshot                     head epoch's graph + spanner as text
 //
 // Usage:
 //
 //	ftserve [-addr :8080] [-graph g.txt | -n 512 -deg 8 -seed 1]
 //	        [-k 2] [-f 1] [-mode vertex|edge] [-cache 32768]
+//	        [-wal DIR] [-checkpoint-every 256] [-fsync always|interval|off]
+//	        [-fsync-interval 100ms] [-apply-queue 64] [-query-timeout 10s]
+//	        [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
+//	        [-drain-grace 500ms]
 //
 // With -graph the graph is read from the file; otherwise a G(n, p) sample
-// with expected degree -deg is generated from -seed. The server shuts down
-// cleanly on SIGINT/SIGTERM, draining in-flight requests.
+// with expected degree -deg is generated from -seed.
+//
+// Durability: -wal names a directory holding the append-only churn log and
+// periodic checkpoints. On a fresh directory the server builds the graph
+// and logs every accepted batch write-ahead; on a directory with state it
+// IGNORES -graph/-n/-deg/-seed and recovers the exact pre-crash oracle
+// (newest committed checkpoint + log replay) before going ready. The
+// listener binds and answers /healthz immediately; /readyz stays 503 until
+// the build or recovery finishes.
+//
+// The server shuts down on SIGINT/SIGTERM in drain order: /readyz flips to
+// 503, -drain-grace elapses (load balancers stop routing while in-flight
+// requests still complete), then the listener closes, in-flight requests
+// finish, and the churn log is synced and closed.
 package main
 
 import (
@@ -33,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -40,6 +59,7 @@ import (
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
 	"ftspanner/internal/oracle"
+	"ftspanner/internal/wal"
 )
 
 func main() {
@@ -54,6 +74,32 @@ func main() {
 // onListen, when set (by tests), receives the bound address before serving.
 var onListen func(net.Addr)
 
+// swapHandler lets the server accept connections before the oracle exists:
+// it serves a minimal booting handler first and atomically swaps in the full
+// API once the build/recovery finishes.
+type swapHandler struct{ p atomic.Pointer[http.Handler] }
+
+func (s *swapHandler) Store(h http.Handler) { s.p.Store(&h) }
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.p.Load()).ServeHTTP(w, r)
+}
+
+// bootHandler answers while the oracle is still building or recovering:
+// alive (the process is up) but not ready (no queries can be served yet).
+func bootHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true,"booting":true}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready":false,"error":"booting"}`)
+	})
+	return mux
+}
+
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ftserve", flag.ContinueOnError)
 	var (
@@ -66,6 +112,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		f         = fs.Int("f", 1, "fault budget (max per-query fault-set size)")
 		mode      = fs.String("mode", "vertex", "fault mode: vertex or edge")
 		cache     = fs.Int("cache", 0, "result cache capacity in entries (0 = default, -1 = disabled)")
+
+		walDir     = fs.String("wal", "", "durable churn-log directory (empty = no durability; with prior state, recover from it)")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "checkpoint every this many batches (0 = default 256, negative = never)")
+		fsync      = fs.String("fsync", "always", "churn-log fsync policy: always, interval, or off")
+		fsyncEvery = fs.Duration("fsync-interval", 100*time.Millisecond, "max time between fsyncs under -fsync interval")
+		applyQueue = fs.Int("apply-queue", 64, "max in-flight /batch applies before shedding with 429 (0 = unbounded)")
+
+		queryTimeout = fs.Duration("query-timeout", 10*time.Second, "per-/query serving deadline (0 = unbounded)")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
+		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "HTTP server idle connection timeout")
+		drainGrace   = fs.Duration("drain-grace", 500*time.Millisecond, "time /readyz reports 503 before the listener closes on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,23 +138,30 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -mode %q (vertex or edge)", *mode)
 	}
-
-	g, source, err := loadGraph(*graphPath, *n, *deg, *seed)
-	if err != nil {
-		return err
+	cfg := oracle.Config{
+		K: *k, F: *f, Mode: m, CacheCapacity: *cache,
+		CheckpointEvery: *ckptEvery, ApplyQueue: *applyQueue,
 	}
 
-	buildStart := time.Now()
-	o, err := oracle.New(g, oracle.Config{K: *k, F: *f, Mode: m, CacheCapacity: *cache})
-	if err != nil {
-		return err
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		w, err := wal.Open(wal.Options{Dir: *walDir, Sync: policy, SyncInterval: *fsyncEvery})
+		if err != nil {
+			return err
+		}
+		cfg.WAL = w
 	}
-	st := o.Stats()
-	fmt.Fprintf(stdout, "ftserve: %s: n=%d m=%d -> %d-fault-tolerant %d-spanner with %d edges (built in %s)\n",
-		source, st.N, st.M, *f, o.Stretch(), st.SpannerM, time.Since(buildStart).Round(time.Millisecond))
 
+	// Listener-first: bind and answer liveness probes while the (possibly
+	// slow) build or recovery runs; /readyz turns 200 only once it is done.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		if cfg.WAL != nil {
+			cfg.WAL.Close()
+		}
 		return err
 	}
 	if onListen != nil {
@@ -104,26 +169,94 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "ftserve: listening on %s\n", ln.Addr())
 
-	srv := &http.Server{Handler: oracle.NewHTTPHandler(o)}
+	var handler swapHandler
+	handler.Store(bootHandler())
+	srv := &http.Server{
+		Handler:      &handler,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	o, err := buildOrRecover(cfg, *walDir, *graphPath, *n, *deg, *seed, *f, stdout)
+	if err != nil {
+		srv.Close()
+		<-errc
+		if cfg.WAL != nil {
+			cfg.WAL.Close()
+		}
+		return err
+	}
+	var draining atomic.Bool
+	handler.Store(oracle.NewHTTPHandlerOpts(o, oracle.HandlerOptions{
+		QueryTimeout: *queryTimeout,
+		Ready:        func() bool { return !draining.Load() },
+	}))
+
 	select {
 	case err := <-errc:
+		o.Close()
 		return err
 	case <-ctx.Done():
+	}
+	// Drain order: stop advertising readiness first, give load balancers
+	// -drain-grace to notice, then stop accepting and finish in-flight work.
+	draining.Store(true)
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
+		o.Close()
 		return err
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		o.Close()
 		return err
+	}
+	if err := o.Close(); err != nil {
+		return fmt.Errorf("close churn log: %w", err)
 	}
 	final := o.Stats()
 	fmt.Fprintf(stdout, "ftserve: shut down cleanly: %d queries (%.1f%% cache hits), %d churn batches, final epoch %d\n",
 		final.Queries, 100*final.HitRate, final.Batches, final.Epoch)
 	return nil
+}
+
+// buildOrRecover constructs the oracle: from the churn log when the WAL
+// directory already holds state, from the graph flags otherwise.
+func buildOrRecover(cfg oracle.Config, walDir, graphPath string, n, deg int, seed int64, f int, stdout io.Writer) (*oracle.Oracle, error) {
+	if cfg.WAL != nil && cfg.WAL.HasState() {
+		start := time.Now()
+		o, info, err := oracle.Recover(cfg.WAL, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("recover from %s: %w", walDir, err)
+		}
+		st := o.Stats()
+		fmt.Fprintf(stdout, "ftserve: recovered from %s: checkpoint epoch %d + %d replayed batches -> epoch %d, n=%d m=%d spanner_m=%d (in %s)\n",
+			walDir, info.CheckpointEpoch, info.ReplayedBatches, info.Epoch, st.N, st.M, st.SpannerM,
+			time.Since(start).Round(time.Millisecond))
+		if info.TornTailBytes > 0 {
+			fmt.Fprintf(stdout, "ftserve: repaired %d torn bytes at the churn-log tail\n", info.TornTailBytes)
+		}
+		return o, nil
+	}
+	g, source, err := loadGraph(graphPath, n, deg, seed)
+	if err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
+	o, err := oracle.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := o.Stats()
+	fmt.Fprintf(stdout, "ftserve: %s: n=%d m=%d -> %d-fault-tolerant %d-spanner with %d edges (built in %s)\n",
+		source, st.N, st.M, f, o.Stretch(), st.SpannerM, time.Since(buildStart).Round(time.Millisecond))
+	return o, nil
 }
 
 func loadGraph(path string, n, deg int, seed int64) (*graph.Graph, string, error) {

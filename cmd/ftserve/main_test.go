@@ -1,38 +1,66 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"ftspanner/internal/gen"
 	"ftspanner/internal/graph"
+	"ftspanner/internal/oracle"
 )
 
-// startServer runs the command's run() on an ephemeral port and returns the
-// base URL plus a shutdown function that triggers the signal path and waits
-// for the clean exit.
-func startServer(t *testing.T, args ...string) (string, func() error) {
+// syncBuf collects server output; run() writes from its own goroutine while
+// tests read, so the builder needs a lock.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startServer runs the command's run() on an ephemeral port, waits for
+// /readyz (the listener now binds before the oracle builds), and returns the
+// base URL, the captured output, and a shutdown function that triggers the
+// signal path and waits for the clean exit. Tests get a short drain grace by
+// default; pass -drain-grace explicitly to override (last flag wins).
+func startServer(t *testing.T, args ...string) (string, *syncBuf, func() error) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	addrc := make(chan net.Addr, 1)
 	onListen = func(a net.Addr) { addrc <- a }
 	t.Cleanup(func() { onListen = nil })
 	errc := make(chan error, 1)
-	var out strings.Builder
+	out := &syncBuf{}
 	go func() {
-		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out)
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-drain-grace", "10ms"}, args...), out)
 	}()
 	select {
 	case addr := <-addrc:
-		return "http://" + addr.String(), func() error {
+		onListen = nil // boot is past the hook; direct run() calls must not block on it
+		base := "http://" + addr.String()
+		waitReady(t, base, errc, out)
+		return base, out, func() error {
 			cancel()
 			select {
 			case err := <-errc:
@@ -52,10 +80,89 @@ func startServer(t *testing.T, args ...string) (string, func() error) {
 	panic("unreachable")
 }
 
+// waitReady polls /readyz until it answers 200 (build/recovery done).
+func waitReady(t *testing.T, base string, errc chan error, out *syncBuf) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case err := <-errc:
+			t.Fatalf("server exited before ready: %v\n%s", err, out.String())
+		default:
+		}
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became ready\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// nextBatch builds one valid churn batch against the mirror graph (which
+// tracks the server's state batch for batch) and applies it to the mirror.
+func nextBatch(t *testing.T, mirror *graph.Graph, rng *rand.Rand, dels, ins int) []byte {
+	t.Helper()
+	var req oracle.BatchRequest
+	ids := mirror.EdgeIDs()
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for i := 0; i < dels && i < len(ids); i++ {
+		e := mirror.Edge(ids[i])
+		if _, err := mirror.RemoveEdgeBetween(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+		req.Delete = append(req.Delete, oracle.BatchUpdate{U: e.U, V: e.V})
+	}
+	n := mirror.N()
+	for i := 0; i < ins; i++ {
+		for try := 0; try < 100; try++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || mirror.HasEdge(u, v) {
+				continue
+			}
+			mirror.MustAddEdgeW(u, v, 1)
+			req.Insert = append(req.Insert, oracle.BatchUpdate{U: u, V: v, W: 1})
+			break
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postBatch(t *testing.T, base string, body []byte) oracle.BatchResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br oracle.BatchResponse
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("batch: %d %s", resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	return br
+}
+
 // The end-to-end smoke test CI mirrors with curl: start, exercise every
 // endpoint, shut down cleanly.
 func TestServeSmoke(t *testing.T) {
-	base, shutdown := startServer(t, "-n", "64", "-deg", "6", "-k", "2", "-f", "2")
+	base, _, shutdown := startServer(t, "-n", "64", "-deg", "6", "-k", "2", "-f", "2")
 
 	get := func(path string, out any) int {
 		resp, err := http.Get(base + path)
@@ -125,7 +232,7 @@ func TestServeGraphFileAndErrors(t *testing.T) {
 	}
 	file.Close()
 
-	base, shutdown := startServer(t, "-graph", path, "-k", "2", "-f", "1", "-mode", "edge")
+	base, _, shutdown := startServer(t, "-graph", path, "-k", "2", "-f", "1", "-mode", "edge")
 	resp, err := http.Get(base + "/query?u=0&v=5&faults=0-5")
 	if err != nil {
 		t.Fatal(err)
@@ -146,13 +253,107 @@ func TestServeGraphFileAndErrors(t *testing.T) {
 
 	ctx := context.Background()
 	var out strings.Builder
-	if err := run(ctx, []string{"-mode", "diagonal"}, &out); err == nil {
+	ephemeral := func(args ...string) []string {
+		return append([]string{"-addr", "127.0.0.1:0"}, args...)
+	}
+	if err := run(ctx, ephemeral("-mode", "diagonal"), &out); err == nil {
 		t.Error("bad -mode accepted")
 	}
-	if err := run(ctx, []string{"-graph", filepath.Join(dir, "missing.txt")}, &out); err == nil {
+	if err := run(ctx, ephemeral("-graph", filepath.Join(dir, "missing.txt")), &out); err == nil {
 		t.Error("missing graph file accepted")
 	}
-	if err := run(ctx, []string{"-n", "1"}, &out); err == nil {
+	if err := run(ctx, ephemeral("-n", "1"), &out); err == nil {
 		t.Error("n=1 accepted")
+	}
+	if err := run(ctx, ephemeral("-fsync", "sometimes", "-wal", t.TempDir()), &out); err == nil {
+		t.Error("bad -fsync accepted")
+	}
+}
+
+// A clean stop/start cycle on the same WAL directory recovers the exact
+// final epoch and keeps accepting churn.
+func TestServeDurableRestart(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	args := []string{"-n", "64", "-deg", "6", "-seed", "5", "-k", "2", "-f", "1",
+		"-wal", walDir, "-checkpoint-every", "4"}
+	base, _, shutdown := startServer(t, args...)
+
+	mirror, _, err := loadGraph("", 64, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var last oracle.BatchResponse
+	for i := 0; i < 6; i++ {
+		last = postBatch(t, base, nextBatch(t, mirror, rng, 2, 2))
+	}
+	// 6 batches + 1 checkpoint barrier after the 4th: epochs 1..5, 6, 7, 8.
+	if last.Epoch != 8 {
+		t.Fatalf("epoch after 6 batches = %d, want 8", last.Epoch)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same directory: graph flags are ignored, state recovers.
+	base2, out2, shutdown2 := startServer(t, args...)
+	if !strings.Contains(out2.String(), "recovered from") {
+		t.Fatalf("no recovery line in output:\n%s", out2.String())
+	}
+	var st struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	resp, err := http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Epoch != 8 {
+		t.Fatalf("recovered epoch %d, want 8", st.Epoch)
+	}
+	// Churn keeps flowing post-recovery.
+	if br := postBatch(t, base2, nextBatch(t, mirror, rng, 1, 1)); br.Epoch != 9 {
+		t.Fatalf("post-recovery epoch %d, want 9", br.Epoch)
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shutdown drains in order: /readyz flips to 503 while in-flight and new
+// queries on existing knowledge still answer 200 for the grace period.
+func TestDrainOrdering(t *testing.T) {
+	base, _, shutdown := startServer(t, "-n", "64", "-deg", "6", "-drain-grace", "2s")
+	errc := make(chan error, 1)
+	go func() { errc <- shutdown() }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("readyz during drain: %v", err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Still inside the grace period: reads keep serving.
+	resp, err := http.Get(base + "/query?u=0&v=5")
+	if err != nil {
+		t.Fatalf("query during drain: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query during drain: %d, want 200", resp.StatusCode)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }

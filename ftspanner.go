@@ -50,6 +50,7 @@ import (
 	"ftspanner/internal/sp"
 	"ftspanner/internal/spanner"
 	"ftspanner/internal/verify"
+	"ftspanner/internal/wal"
 )
 
 // Graph is an undirected graph with optional non-negative edge weights.
@@ -151,6 +152,20 @@ type Options struct {
 	// serving to the head epoch. Each retained epoch pins O(n+m) memory.
 	// Every other entry point ignores it.
 	SnapshotRetain int
+	// WAL tunes NewOracle only: a durable churn log (OpenWAL) that makes
+	// every Oracle.Apply write-ahead and the oracle recoverable after
+	// kill -9 via RecoverOracle. The log directory must be fresh; nil
+	// disables durability. Every other entry point ignores it.
+	WAL *WAL
+	// CheckpointEvery tunes NewOracle with a WAL only: a checkpoint (a
+	// compaction barrier bounding recovery replay) is written every this
+	// many applied batches. 0 selects the default (256); negative disables
+	// periodic checkpoints (Oracle.Checkpoint still works).
+	CheckpointEvery int
+	// ApplyQueue tunes NewOracle only: a positive value bounds how many
+	// Apply calls may be in flight before further ones shed immediately
+	// with an *oracle.OverloadedError instead of queueing. 0 = unbounded.
+	ApplyQueue int
 }
 
 // normalizeMode maps the zero FaultMode to VertexFaults, so that the
@@ -377,15 +392,70 @@ type OracleStats = oracle.Stats
 // distance in the faulted source graph of the answer's epoch — the spanner
 // guarantee, delivered as a service.
 func NewOracle(g *Graph, opts Options) (*Oracle, error) {
-	return oracle.New(g, oracle.Config{
-		K:                opts.K,
-		F:                opts.F,
-		Mode:             opts.mode(),
-		StalenessBudget:  opts.StalenessBudget,
-		BuildParallelism: opts.BuildParallelism,
-		CacheCapacity:    opts.CacheCapacity,
-		SnapshotRetain:   opts.SnapshotRetain,
-	})
+	return oracle.New(g, opts.oracleConfig())
+}
+
+func (o Options) oracleConfig() oracle.Config {
+	return oracle.Config{
+		K:                o.K,
+		F:                o.F,
+		Mode:             o.mode(),
+		StalenessBudget:  o.StalenessBudget,
+		BuildParallelism: o.BuildParallelism,
+		CacheCapacity:    o.CacheCapacity,
+		SnapshotRetain:   o.SnapshotRetain,
+		WAL:              o.WAL,
+		CheckpointEvery:  o.CheckpointEvery,
+		ApplyQueue:       o.ApplyQueue,
+	}
+}
+
+// WAL is a durable churn log: an append-only, CRC-checksummed record log
+// plus periodic checkpoint files in one directory, which together make an
+// Oracle recoverable to its exact pre-crash state (same spanner edge set,
+// same epoch) after kill -9. Open one with OpenWAL, hand it to NewOracle
+// via Options.WAL on a fresh directory, or to RecoverOracle on a directory
+// holding state. Use WAL.HasState to pick between the two.
+type WAL = wal.Log
+
+// WALOptions parameterizes OpenWAL: the directory, the fsync policy, and
+// record-size bounds.
+type WALOptions = wal.Options
+
+// WALSyncPolicy says when churn-log appends reach stable storage.
+type WALSyncPolicy = wal.SyncPolicy
+
+// Fsync policies for WALOptions.Sync.
+const (
+	// WALSyncAlways fsyncs every append: acknowledged batches survive power
+	// loss. The default.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncInterval fsyncs at most once per WALOptions.SyncInterval.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncNever leaves flushing to the OS: the log still survives
+	// process death, only machine death can lose the tail.
+	WALSyncNever = wal.SyncNever
+)
+
+// OpenWAL opens (creating if necessary) the churn log in opts.Dir and
+// repairs any torn tail a crash left behind.
+func OpenWAL(opts WALOptions) (*WAL, error) { return wal.Open(opts) }
+
+// ParseWALSyncPolicy maps the command-line spellings always/interval/off.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// RecoveryInfo describes what RecoverOracle did: the checkpoint it started
+// from, the records it replayed, and the final epoch.
+type RecoveryInfo = oracle.RecoveryInfo
+
+// RecoverOracle reconstructs an Oracle from w's directory — newest
+// committed checkpoint plus deterministic replay of the logged churn
+// suffix — landing on exactly the pre-crash durable state. opts must match
+// the configuration the log was written under (refused otherwise);
+// opts.WAL is ignored and replaced by w, which the recovered oracle owns
+// and keeps appending to.
+func RecoverOracle(w *WAL, opts Options) (*Oracle, RecoveryInfo, error) {
+	return oracle.Recover(w, opts.oracleConfig())
 }
 
 // VerifyReport summarizes a verification run; see Verify.

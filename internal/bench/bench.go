@@ -34,7 +34,7 @@ type Config struct {
 	Parallelism int
 	// Series restricts RunCoreBench to a comma-separated subset of its
 	// measurement series (benchmarks, spanners, churn, serve, serve_churn,
-	// scale, build_par); empty runs everything. Profiling runs use it to
+	// scale, build_par, recover); empty runs everything. Profiling runs use it to
 	// capture one stage without the others polluting the profile, and CI
 	// smoke jobs use it to gate one series cheaply. Skipped series are
 	// simply absent (null) in the written JSON.

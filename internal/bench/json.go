@@ -55,6 +55,10 @@ type CoreBench struct {
 	// baseline, with the identical-spanner determinism check per point (see
 	// BuildParPoint).
 	BuildPar []BuildParPoint `json:"build_par"`
+	// Recover is the durability series: fsync-always WAL apply vs log
+	// replay, crash-recovery identity, and checkpoint cost (see
+	// RecoverPoint).
+	Recover []RecoverPoint `json:"recover"`
 }
 
 // BenchPoint is one measured hot path.
@@ -279,6 +283,15 @@ func RunCoreBench(cfg Config) (*CoreBench, error) {
 			return nil, err
 		}
 		out.BuildPar = buildPar
+	}
+
+	// Durability: WAL-backed apply, crash recovery, replay speedup.
+	if cfg.wantSeries("recover") {
+		recover, err := runRecoverBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Recover = recover
 	}
 
 	out.ElapsedSec = time.Since(start).Seconds()

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ftspanner/internal/graph"
+	"ftspanner/internal/oracle"
+	"ftspanner/internal/verify"
+	"ftspanner/internal/wal"
+)
+
+// RecoverPoint is one durability measurement: a WAL-backed oracle (fsync on
+// every append) services a churn schedule, is closed, and is recovered from
+// the log; the point records what durable apply cost, what replay cost, and
+// whether recovery landed on the identical state. Checkpointing is disabled
+// during the run so replay covers every applied batch — the speedup is the
+// honest ratio of the same batches serviced cold (replay: repair only)
+// versus hot (apply: validate + append + fsync + repair + CSR patch +
+// publish), which is what bounds restart time relative to the original
+// write path.
+type RecoverPoint struct {
+	N           int `json:"n"`
+	M0          int `json:"m0"`
+	K           int `json:"k"`
+	F           int `json:"f"`
+	Batches     int `json:"batches"`
+	DelPerBatch int `json:"deletes_per_batch"`
+	InsPerBatch int `json:"inserts_per_batch"`
+	// ApplyNsPerBatch is the durable write path per batch.
+	ApplyNsPerBatch float64 `json:"apply_ns_per_batch"`
+	// WALBytes is the log size the schedule produced.
+	WALBytes int64 `json:"wal_bytes"`
+	// RecoverTotalNs is the whole restart: open + checkpoint load (which
+	// includes a fresh spanner build) + replay.
+	RecoverTotalNs float64 `json:"recover_total_ns"`
+	// ReplayNsPerBatch covers just the log-suffix replay loop.
+	ReplayNsPerBatch float64 `json:"replay_ns_per_batch"`
+	ReplayedBatches  int     `json:"replayed_batches"`
+	// ReplaySpeedup is ApplyNsPerBatch / ReplayNsPerBatch.
+	ReplaySpeedup float64 `json:"replay_speedup_vs_apply"`
+	// RecoveredIdentical demands the full contract: same epoch and
+	// byte-identical graph and spanner serializations as the pre-close
+	// oracle, plus every sampled post-recovery answer re-verified.
+	RecoveredIdentical bool `json:"recovered_identical"`
+	QueriesChecked     int  `json:"queries_checked"`
+	// CheckpointNs times one manual checkpoint (barrier append + compact +
+	// rebuild + snapshot + files) on the recovered oracle.
+	CheckpointNs float64 `json:"checkpoint_ns"`
+}
+
+// runRecoverBench measures the durable apply and crash-recovery path at
+// n = 10^4 (and 10^5 in full mode).
+func runRecoverBench(cfg Config) ([]RecoverPoint, error) {
+	sizes := []int{10_000, 100_000}
+	batches, queries := 32, 100
+	if cfg.Quick {
+		sizes = []int{10_000}
+		batches, queries = 16, 50
+	}
+	var out []RecoverPoint
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(cfg.Seed + 900 + int64(n)))
+		pt, err := runRecoverPoint(rng, n, batches, queries)
+		if err != nil {
+			return nil, fmt.Errorf("recover n=%d: %w", n, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func graphText(g *graph.Graph) (string, error) {
+	var b strings.Builder
+	err := graph.Write(&b, g)
+	return b.String(), err
+}
+
+func runRecoverPoint(rng *rand.Rand, n, batches, queries int) (RecoverPoint, error) {
+	const k, f, deg, dels, ins = 2, 1, 8, 4, 4
+	pt := RecoverPoint{N: n, K: k, F: f, Batches: batches, DelPerBatch: dels, InsPerBatch: ins}
+	g, err := gnpDegree(rng, n, deg)
+	if err != nil {
+		return pt, err
+	}
+	pt.M0 = g.M()
+	dir, err := os.MkdirTemp("", "ftbench-recover-")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(dir)
+
+	w, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways})
+	if err != nil {
+		return pt, err
+	}
+	// CheckpointEvery -1: no mid-run checkpoints, so recovery replays the
+	// whole schedule and the two loops cover identical batches.
+	ocfg := oracle.Config{K: k, F: f, WAL: w, CheckpointEvery: -1}
+	o, err := oracle.New(g, ocfg)
+	if err != nil {
+		return pt, err
+	}
+	sched, err := makeSchedule(rng, g, batches, dels, ins)
+	if err != nil {
+		return pt, err
+	}
+
+	start := time.Now()
+	for _, b := range sched.batches {
+		if err := o.Apply(b); err != nil {
+			return pt, err
+		}
+	}
+	pt.ApplyNsPerBatch = float64(time.Since(start).Nanoseconds()) / float64(batches)
+
+	liveG, liveH, liveEpoch := o.Snapshot()
+	liveGText, err := graphText(liveG)
+	if err != nil {
+		return pt, err
+	}
+	liveHText, err := graphText(liveH)
+	if err != nil {
+		return pt, err
+	}
+	if err := o.Close(); err != nil {
+		return pt, err
+	}
+	if st, err := os.Stat(filepath.Join(dir, wal.LogName)); err == nil {
+		pt.WALBytes = st.Size()
+	}
+
+	start = time.Now()
+	w2, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways})
+	if err != nil {
+		return pt, err
+	}
+	o2, info, err := oracle.Recover(w2, ocfg)
+	if err != nil {
+		return pt, err
+	}
+	pt.RecoverTotalNs = float64(time.Since(start).Nanoseconds())
+	defer o2.Close()
+	pt.ReplayedBatches = info.ReplayedBatches
+	if info.ReplayedBatches > 0 {
+		pt.ReplayNsPerBatch = float64(info.ReplayNs) / float64(info.ReplayedBatches)
+	}
+	if pt.ReplayNsPerBatch > 0 {
+		pt.ReplaySpeedup = pt.ApplyNsPerBatch / pt.ReplayNsPerBatch
+	}
+
+	recG, recH, recEpoch := o2.Snapshot()
+	recGText, err := graphText(recG)
+	if err != nil {
+		return pt, err
+	}
+	recHText, err := graphText(recH)
+	if err != nil {
+		return pt, err
+	}
+	pt.RecoveredIdentical = recEpoch == liveEpoch && recGText == liveGText && recHText == liveHText
+
+	// Sampled post-recovery answers, each re-derived on the snapshot it was
+	// served from.
+	for i := 0; i < queries; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		var faults []int
+		if i%2 == 0 {
+			if fv := rng.Intn(n); fv != u && fv != v {
+				faults = []int{fv}
+			}
+		}
+		res, err := o2.Query(u, v, oracle.QueryOptions{FaultVertices: faults, NoCache: true, CopyPath: true})
+		if err != nil {
+			return pt, err
+		}
+		_, h, ok := o2.SnapshotAt(res.Epoch)
+		if !ok {
+			return pt, fmt.Errorf("recovered oracle lost snapshot for epoch %d", res.Epoch)
+		}
+		if err := verify.CheckServedAnswer(h, verify.ServedAnswer{
+			U: u, V: v, Dist: res.Distance, Path: res.Path, FaultVertices: faults,
+		}); err != nil {
+			pt.RecoveredIdentical = false
+			return pt, fmt.Errorf("post-recovery query u=%d v=%d: %w", u, v, err)
+		}
+		pt.QueriesChecked++
+	}
+
+	start = time.Now()
+	if _, err := o2.Checkpoint(); err != nil {
+		return pt, err
+	}
+	pt.CheckpointNs = float64(time.Since(start).Nanoseconds())
+	return pt, nil
+}

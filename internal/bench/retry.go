@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// BatchPoster posts churn batches to a running ftserve over HTTP and
+// retries transient failures — connection errors, 429 (apply queue shed)
+// and 503 (degraded or draining) — with jittered exponential backoff. A 429
+// carries a Retry-After header, which is honored as a floor under the
+// computed backoff; a 400 is a permanently invalid batch and is returned
+// immediately. Load generators drive durable serving benchmarks through it
+// so a shedding server slows the generator down instead of failing the run.
+type BatchPoster struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+	// MaxAttempts bounds tries per batch, first attempt included (0 = 8).
+	MaxAttempts int
+	// BaseDelay seeds the backoff: attempt i waits BaseDelay * 2^i scaled
+	// by a uniform jitter in [0.5, 1.5) (0 = 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps one wait (0 = 5s).
+	MaxDelay time.Duration
+	// Rand draws the jitter (nil = a fixed-seed source: deterministic runs).
+	Rand *rand.Rand
+	// Sleep performs the waits (nil = time.Sleep; tests inject a recorder).
+	Sleep func(time.Duration)
+}
+
+// PostResult reports one successfully applied batch.
+type PostResult struct {
+	// Epoch is the server epoch after the batch.
+	Epoch uint64
+	// Attempts is how many HTTP calls it took (1 = no retries).
+	Attempts int
+	// Backoff is the total time spent waiting between attempts.
+	Backoff time.Duration
+}
+
+func (p *BatchPoster) defaults() (client *http.Client, attempts int, base, max time.Duration, rng *rand.Rand, sleep func(time.Duration)) {
+	client = p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	attempts = p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	base = p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max = p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	rng = p.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	sleep = p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return
+}
+
+// Post sends one JSON batch body to POST {BaseURL}/batch, retrying
+// transient failures until it is applied or MaxAttempts is exhausted.
+func (p *BatchPoster) Post(body []byte) (PostResult, error) {
+	client, attempts, base, max, rng, sleep := p.defaults()
+	var res PostResult
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := p.backoff(attempt-1, base, max, rng, lastErr)
+			res.Backoff += d
+			sleep(d)
+		}
+		res.Attempts++
+		resp, err := client.Post(p.BaseURL+"/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var br struct {
+				Epoch uint64 `json:"epoch"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&br)
+			resp.Body.Close()
+			if err != nil {
+				return res, fmt.Errorf("bench: decode batch response: %w", err)
+			}
+			res.Epoch = br.Epoch
+			return res, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			lastErr = &retryableStatus{
+				status:     resp.StatusCode,
+				retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		default:
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			return res, fmt.Errorf("bench: batch rejected with status %d: %s", resp.StatusCode, e.Error)
+		}
+	}
+	return res, fmt.Errorf("bench: batch not applied after %d attempts: %w", res.Attempts, lastErr)
+}
+
+// backoff computes the wait before retry number attempt (0-based): jittered
+// exponential growth, floored by the server's Retry-After when it sent one.
+func (p *BatchPoster) backoff(attempt int, base, max time.Duration, rng *rand.Rand, lastErr error) time.Duration {
+	d := base << attempt
+	if d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	d = time.Duration(float64(d) * (0.5 + rng.Float64()))
+	if d > max {
+		d = max
+	}
+	if rs, ok := lastErr.(*retryableStatus); ok && rs.retryAfter > d {
+		d = rs.retryAfter
+	}
+	return d
+}
+
+// retryableStatus is a transient HTTP reply held as the lastErr between
+// attempts, carrying the server's Retry-After hint.
+type retryableStatus struct {
+	status     int
+	retryAfter time.Duration
+}
+
+func (r *retryableStatus) Error() string {
+	return fmt.Sprintf("server answered %d", r.status)
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

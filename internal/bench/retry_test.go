@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// poster wires a BatchPoster to srv with a recorded (not slept) clock.
+func poster(srv *httptest.Server, sleeps *[]time.Duration) *BatchPoster {
+	return &BatchPoster{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Rand:        rand.New(rand.NewSource(42)),
+		Sleep:       func(d time.Duration) { *sleeps = append(*sleeps, d) },
+	}
+}
+
+func TestBatchPosterRetriesShedThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"shed"}`)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+		default:
+			fmt.Fprint(w, `{"epoch":7}`)
+		}
+	}))
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	res, err := poster(srv, &sleeps).Post([]byte(`{"insert":[{"u":0,"v":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 7 || res.Attempts != 3 {
+		t.Fatalf("result %+v, want epoch 7 in 3 attempts", res)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2", len(sleeps))
+	}
+	// The 429 carried Retry-After: 1s, far above the jittered 10ms base —
+	// the hint must floor the first wait.
+	if sleeps[0] != time.Second {
+		t.Fatalf("first wait %v, want the Retry-After floor of 1s", sleeps[0])
+	}
+	// The 503 carried no hint: the second wait is jittered exponential,
+	// 2*base scaled into [0.5, 1.5).
+	if sleeps[1] < 10*time.Millisecond || sleeps[1] >= 30*time.Millisecond {
+		t.Fatalf("second wait %v outside the jitter window [10ms, 30ms)", sleeps[1])
+	}
+	if res.Backoff != sleeps[0]+sleeps[1] {
+		t.Fatalf("Backoff %v != %v", res.Backoff, sleeps[0]+sleeps[1])
+	}
+}
+
+func TestBatchPosterInvalidBatchFailsFast(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"insert of existing edge {0,1}"}`)
+	}))
+	defer srv.Close()
+	var sleeps []time.Duration
+	res, err := poster(srv, &sleeps).Post([]byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "existing edge") {
+		t.Fatalf("err = %v, want the server's rejection", err)
+	}
+	if res.Attempts != 1 || len(sleeps) != 0 {
+		t.Fatalf("retried a permanent rejection: %+v, %d sleeps", res, len(sleeps))
+	}
+}
+
+func TestBatchPosterExhaustsAttempts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	var sleeps []time.Duration
+	res, err := poster(srv, &sleeps).Post([]byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "after 5 attempts") {
+		t.Fatalf("err = %v, want exhaustion after 5 attempts", err)
+	}
+	if res.Attempts != 5 || len(sleeps) != 4 {
+		t.Fatalf("attempts %d sleeps %d, want 5 and 4", res.Attempts, len(sleeps))
+	}
+	// Exponential shape: each wait's deterministic core doubles; with
+	// jitter in [0.5, 1.5) consecutive waits can wobble, but the 4th must
+	// exceed the 1st (8x core growth dwarfs the jitter spread).
+	if sleeps[3] <= sleeps[0] {
+		t.Fatalf("backoff did not grow: %v", sleeps)
+	}
+	// Connection errors retry too.
+	srv.Close()
+	res, err = poster(srv, &sleeps).Post([]byte(`{}`))
+	if err == nil || res.Attempts != 5 {
+		t.Fatalf("dead server: err=%v attempts=%d, want exhaustion in 5", err, res.Attempts)
+	}
+}

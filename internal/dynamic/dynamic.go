@@ -107,6 +107,10 @@ type Stats struct {
 	// (all of them when BuildParallelism > 1, none otherwise).
 	BuildParallelism int
 	BatchedBuilds    int
+	// Compactions counts Compact calls: checkpoint barriers that renumbered
+	// the edge-ID space and rebuilt the spanner (each also counts one
+	// FullBuild).
+	Compactions int
 }
 
 // Delta reports what one committed batch changed, in the vocabulary of
@@ -282,6 +286,39 @@ func (m *Maintainer) registerWitness(gid int, witness []int) {
 	for _, hid := range witness {
 		m.users[hid] = append(m.users[hid], gid)
 	}
+}
+
+// Validate checks b the way ApplyBatch will, without mutating anything: a
+// nil return guarantees the same batch (applied next, with no intervening
+// batch) will not be rejected. The write-ahead layer (internal/oracle with
+// a WAL) depends on this split: a batch must be validated before it is
+// durably logged, because replay has no way to skip a record short of
+// corrupting the epoch sequence.
+func (m *Maintainer) Validate(b Batch) error {
+	_, err := m.validateBatch(b)
+	return err
+}
+
+// Compact is the deterministic checkpoint barrier: it renumbers the
+// maintained graph's edge-ID space to the canonical compact layout
+// (graph.Compact — live edges reassigned dense IDs in ascending old-ID
+// order, the exact layout graph.Write serializes) and rebuilds the spanner
+// and every certificate from scratch on the renumbered graph.
+//
+// Churn makes edge IDs layout-dependent (RemoveEdge retires IDs into a free
+// list that AddEdgeW reuses), and decisions break weight ties by edge ID —
+// so two maintainers with equal edge sets but different ID layouts can
+// evolve different spanners. After Compact the layout is a pure function of
+// the edge set, which is what makes recovery byte-identical: a recovered
+// maintainer built from the checkpoint files (dynamic.New on the compacted
+// graph) is in exactly the state the live maintainer is in after this call.
+func (m *Maintainer) Compact() error {
+	m.g = graph.Compact(m.g)
+	if err := m.rebuild(); err != nil {
+		return err
+	}
+	m.stats.Compactions++
+	return nil
 }
 
 // validateBatch resolves and checks every update before any mutation, so a

@@ -1,0 +1,115 @@
+// Package faultinject provides named fault-injection points for crash and
+// IO-error testing of the durability stack (internal/wal, internal/oracle).
+//
+// Production code calls Fire(point) at the moments a crash would be most
+// damaging — immediately after a WAL append, in the middle of a checkpoint,
+// right before publishing a snapshot. Unarmed (the default, and always in
+// production) Fire is a single atomic load returning nil. Tests arm a point
+// with Fail/FailAfter/Set, drive the system into it, and then exercise
+// recovery from exactly the on-disk state the "crash" left behind.
+//
+// An injected error models a process death at that instant: the caller is
+// expected to stop trusting its in-memory state (the oracle degrades
+// itself), and the test recovers a fresh instance from disk.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The named points wired into the durability stack. Each is the instant
+// after which (or during which) a real crash would leave the most
+// adversarial on-disk state.
+const (
+	// AfterAppend fires in Oracle.apply after the batch record is durably
+	// appended to the WAL but before the maintainer applies it: the log is
+	// ahead of memory.
+	AfterAppend = "oracle.after-append"
+	// BeforePublish fires in Oracle.apply after the maintainer mutated but
+	// before the snapshot is published: memory is mutated, readers are not.
+	BeforePublish = "oracle.before-publish"
+	// MidCheckpoint fires in wal.WriteCheckpoint after the graph and spanner
+	// files are written but before the meta file commits them: a torn
+	// checkpoint that recovery must skip.
+	MidCheckpoint = "wal.mid-checkpoint"
+	// AppendError fires in wal.Log.append before any bytes are written,
+	// modeling an IO error (disk full, EIO) rather than a crash: the append
+	// fails cleanly and the oracle degrades.
+	AppendError = "wal.append-error"
+)
+
+// ErrInjected is the base error of every injected failure; match with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+var (
+	armed atomic.Int32 // number of armed points; 0 keeps Fire on the fast path
+	mu    sync.Mutex
+	hooks = map[string]func() error{}
+)
+
+// Fire runs the hook armed at point, if any. With nothing armed anywhere it
+// is one atomic load and a nil return.
+func Fire(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := hooks[point]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// Set arms point with fn (replacing any previous hook). fn may be called
+// from any goroutine and must be safe for concurrent use.
+func Set(point string, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[point]; !ok {
+		armed.Add(1)
+	}
+	hooks[point] = fn
+}
+
+// Clear disarms point.
+func Clear(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[point]; ok {
+		delete(hooks, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point. Tests defer it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(hooks)))
+	hooks = map[string]func() error{}
+}
+
+// Fail arms point to fail on every Fire.
+func Fail(point string) {
+	Set(point, func() error {
+		return fmt.Errorf("%w at %s", ErrInjected, point)
+	})
+}
+
+// FailAfter arms point to pass n-1 times and fail on the n-th Fire (and
+// every one after), so tests can crash on a chosen batch.
+func FailAfter(point string, n int) {
+	var count atomic.Int64
+	Set(point, func() error {
+		if count.Add(1) >= int64(n) {
+			return fmt.Errorf("%w at %s (fire %d)", ErrInjected, point, n)
+		}
+		return nil
+	})
+}

@@ -214,3 +214,25 @@ func (g *Graph) DegreeSequence() []int {
 }
 
 func sortInts(a []int) { sort.Ints(a) }
+
+// Compact returns a fresh graph with the same vertices and live edges as g,
+// with edge IDs renumbered to the dense 0..M()-1 in ascending old-ID order —
+// exactly the order Write and StreamWriter emit, so Compact(g) is
+// edge-ID-identical to writing g out and reading it back. Churn leaves holes
+// in the edge-ID space (RemoveEdge retires IDs into a free list, AddEdgeW
+// reuses them newest-first); algorithms that break ties by edge ID therefore
+// depend on the ID layout, and Compact is the canonical layout the
+// durability layer (internal/wal checkpoints) normalizes to before
+// serializing state that must recover byte-identically.
+func Compact(g View) *Graph {
+	c := NewLike(g)
+	limit := g.EdgeIDLimit()
+	for id := 0; id < limit; id++ {
+		if !g.EdgeAlive(id) {
+			continue
+		}
+		e := g.Edge(id)
+		c.MustAddEdgeW(e.U, e.V, e.W)
+	}
+	return c
+}

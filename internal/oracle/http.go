@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -10,21 +11,32 @@ import (
 	"time"
 
 	"ftspanner/internal/dynamic"
+	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
 )
 
 // The JSON serving API (cmd/ftserve mounts this handler):
 //
-//	GET  /healthz          -> {"ok":true,"epoch":3}
+//	GET  /healthz          -> {"ok":true,"epoch":3,"degraded":false}   liveness
+//	GET  /readyz           -> {"ready":true,"epoch":3}                 readiness
 //	GET  /stats            -> the Stats struct
 //	POST /query            -> QueryResponse for a QueryRequest body
 //	GET  /query?u=0&v=5&faults=2,7&no_cache=1&max_distance=3.5
 //	                          (edge mode spells faults as "2-7,3-9" pairs)
 //	POST /batch            -> BatchResponse for a BatchRequest body
+//	GET  /snapshot         -> the head epoch's graph and spanner as text
 //
-// Errors return {"error": "..."} with status 400 (bad request), 404, or 405
-// (method not allowed). Distances are JSON-safe: a disconnected pair has
-// "reachable": false and distance -1 (JSON cannot carry +Inf).
+// Liveness vs readiness: /healthz answers 200 whenever the process serves
+// HTTP at all (even degraded — stale reads still work); /readyz answers 503
+// until the oracle is ready for full service and again once it is degraded
+// or draining, so load balancers stop routing new work while in-flight
+// reads finish.
+//
+// Errors return {"error": "..."} with status 400 (bad request), 404, 405
+// (method not allowed), 429 + Retry-After (apply queue full), or 503
+// (degraded / not ready / query deadline exceeded). Distances are
+// JSON-safe: a disconnected pair has "reachable": false and distance -1
+// (JSON cannot carry +Inf).
 
 // QueryRequest is the POST /query body.
 type QueryRequest struct {
@@ -77,21 +89,80 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// NewHTTPHandler returns the JSON serving API over o. cmd/ftserve mounts it
-// at the root; tests mount it on httptest servers.
+// SnapshotResponse is the GET /snapshot reply: the head epoch's state in
+// the package graph text format — small-graph debugging and the
+// crash-recovery identity check in CI read it.
+type SnapshotResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	N       int    `json:"n"`
+	Graph   string `json:"graph"`
+	Spanner string `json:"spanner"`
+}
+
+// HandlerOptions tunes NewHTTPHandlerOpts beyond the oracle itself.
+type HandlerOptions struct {
+	// QueryTimeout bounds one /query's serving time: past it the client
+	// gets 503 instead of an unbounded wait (the search keeps running in
+	// the background until it finishes, but nobody waits for it). 0 means
+	// no bound.
+	QueryTimeout time.Duration
+	// Ready gates /readyz alongside the oracle's own degraded flag. nil
+	// means always ready. cmd/ftserve wires startup/recovery completion and
+	// drain-on-shutdown through it.
+	Ready func() bool
+}
+
+// NewHTTPHandler returns the JSON serving API over o with default options.
 func NewHTTPHandler(o *Oracle) http.Handler {
+	return NewHTTPHandlerOpts(o, HandlerOptions{})
+}
+
+// NewHTTPHandlerOpts returns the JSON serving API over o. cmd/ftserve
+// mounts it at the root; tests mount it on httptest servers.
+func NewHTTPHandlerOpts(o *Oracle, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !allowMethod(w, r, http.MethodGet) {
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": o.Epoch()})
+		// Liveness: 200 even when degraded — the process is up and serving
+		// (stale) reads; restarting it is the operator's call, not the
+		// orchestrator's reflex.
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": o.Epoch(), "degraded": o.Degraded()})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodGet) {
+			return
+		}
+		ready := opts.Ready == nil || opts.Ready()
+		degraded := o.Degraded()
+		if !ready || degraded {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "degraded": degraded})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "epoch": o.Epoch()})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !allowMethod(w, r, http.MethodGet) {
 			return
 		}
 		writeJSON(w, http.StatusOK, o.Stats())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodGet) {
+			return
+		}
+		g, h, epoch := o.Snapshot()
+		var gb, hb strings.Builder
+		if err := graph.Write(&gb, g); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
+		if err := graph.Write(&hb, h); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{Epoch: epoch, N: g.N(), Graph: gb.String(), Spanner: hb.String()})
 	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodPost {
@@ -104,7 +175,7 @@ func NewHTTPHandler(o *Oracle) http.Handler {
 			return
 		}
 		start := time.Now()
-		res, err := o.Query(req.U, req.V, QueryOptions{
+		qopts := QueryOptions{
 			FaultVertices: req.FaultVertices,
 			FaultEdges:    req.FaultEdges,
 			NoCache:       req.NoCache,
@@ -113,7 +184,33 @@ func NewHTTPHandler(o *Oracle) http.Handler {
 			// handler decoupled from cache internals: nothing downstream of
 			// an HTTP response may alias a shared cache entry.
 			CopyPath: true,
-		})
+		}
+		var res QueryResult
+		if opts.QueryTimeout > 0 {
+			type answer struct {
+				res QueryResult
+				err error
+			}
+			done := make(chan answer, 1)
+			go func() {
+				res, err := o.Query(req.U, req.V, qopts)
+				done <- answer{res, err}
+			}()
+			timer := time.NewTimer(opts.QueryTimeout)
+			defer timer.Stop()
+			select {
+			case a := <-done:
+				res, err = a.res, a.err
+			case <-timer.C:
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{fmt.Sprintf("query deadline %s exceeded", opts.QueryTimeout)})
+				return
+			case <-r.Context().Done():
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{"request canceled"})
+				return
+			}
+		} else {
+			res, err = o.Query(req.U, req.V, qopts)
+		}
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 			return
@@ -151,7 +248,21 @@ func NewHTTPHandler(o *Oracle) http.Handler {
 		start := time.Now()
 		epoch, err := o.apply(b)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			var over *OverloadedError
+			switch {
+			case errors.As(err, &over):
+				// Shed, not failed: tell the client when to come back.
+				secs := int(math.Ceil(over.RetryAfter.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+			case errors.Is(err, ErrDegraded):
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+			default:
+				writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			}
 			return
 		}
 		writeJSON(w, http.StatusOK, BatchResponse{

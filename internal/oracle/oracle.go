@@ -58,9 +58,11 @@ import (
 	"time"
 
 	"ftspanner/internal/dynamic"
+	"ftspanner/internal/faultinject"
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
 	"ftspanner/internal/sp"
+	"ftspanner/internal/wal"
 )
 
 // Config parameterizes New.
@@ -92,6 +94,26 @@ type Config struct {
 	// whole cache, as the pre-RCU oracle did). Each retained epoch pins
 	// one CSR pair, so memory grows with SnapshotRetain · (n + m).
 	SnapshotRetain int
+	// WAL, when non-nil, makes every Apply write-ahead: the batch record is
+	// durably appended (per the log's fsync policy) before the maintainer
+	// applies it, so a crash at any instant recovers to exactly the
+	// acknowledged state (Recover). New also normalizes the input graph's
+	// edge-ID layout (graph.Compact) and writes the initial checkpoint, so
+	// the log directory alone reconstructs the oracle. The oracle owns the
+	// log from here: it closes it rather than share appends with anyone.
+	WAL *wal.Log
+	// CheckpointEvery, with a WAL, writes a checkpoint (and compaction
+	// barrier — see Oracle.Checkpoint) after every CheckpointEvery applied
+	// batches, bounding replay length. 0 selects DefaultCheckpointEvery;
+	// negative disables periodic checkpoints (the initial one is still
+	// written, and Checkpoint can be called manually).
+	CheckpointEvery int
+	// ApplyQueue, when positive, bounds how many Apply calls may be running
+	// or waiting on the writer mutex; beyond it Apply sheds load
+	// immediately with an OverloadedError (HTTP 429 + Retry-After at the
+	// serving layer) instead of queueing without bound. 0 keeps the
+	// pre-existing unbounded blocking behavior.
+	ApplyQueue int
 }
 
 // QueryOptions carries a query's fault set and cache directives.
@@ -188,6 +210,27 @@ type Stats struct {
 	// Maintainer exposes the underlying repair counters (frozen at the
 	// head epoch's batch).
 	Maintainer dynamic.Stats `json:"maintainer"`
+
+	// Durability counters (zero / absent without a Config.WAL).
+	//
+	// Degraded reports the sticky write-ahead failure state: reads still
+	// serve the last published snapshot, writes return ErrDegraded until
+	// the process restarts and Recovers.
+	Degraded bool `json:"degraded"`
+	// ApplyShed counts Apply calls rejected by the bounded apply queue;
+	// ApplyQueue echoes the configured bound (0 = unbounded).
+	ApplyShed  uint64 `json:"apply_shed"`
+	ApplyQueue int    `json:"apply_queue"`
+	// WAL carries the log's append/sync counters.
+	WAL *wal.Stats `json:"wal,omitempty"`
+	// Checkpoints / CheckpointErrors count completed checkpoint file sets
+	// and file-set write failures (a file failure alone does not degrade:
+	// the marker record in the log keeps recovery exact).
+	Checkpoints         uint64 `json:"checkpoints,omitempty"`
+	CheckpointErrors    uint64 `json:"checkpoint_errors,omitempty"`
+	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch,omitempty"`
+	// Recovery is set on an oracle built by Recover.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // Oracle is a thread-safe query engine over a maintained fault-tolerant
@@ -224,6 +267,20 @@ type Oracle struct {
 	csrFullBuilds     atomic.Uint64
 	csrPatchNs        atomic.Int64
 	csrFullBuildNs    atomic.Int64
+
+	// Durability state (nil/zero without Config.WAL). sinceCkpt is guarded
+	// by wmu; the rest are atomics so Stats stays lock-free.
+	wal             *wal.Log
+	checkpointEvery int
+	sinceCkpt       int
+	degraded        atomic.Bool
+	applySlots      chan struct{} // nil = unbounded; cap = Config.ApplyQueue
+	applyShed       atomic.Uint64
+	lastApplyNs     atomic.Int64
+	checkpoints     atomic.Uint64
+	checkpointErrs  atomic.Uint64
+	lastCkptEpoch   atomic.Uint64
+	recovery        *RecoveryInfo
 }
 
 // searcherPoolCap bounds how many warm searchers one partition parks. A
@@ -283,10 +340,27 @@ func (o *Oracle) getSearcher(shard int) *sp.Searcher {
 	return o.newSearcher()
 }
 
+// DefaultCheckpointEvery is how many applied batches separate periodic
+// checkpoints when Config.CheckpointEvery is 0 and a WAL is configured.
+const DefaultCheckpointEvery = 256
+
 // New builds the F-fault-tolerant (2K-1)-spanner of g (via
 // dynamic.New, so later Apply batches repair rather than rebuild it) and
 // returns an Oracle serving queries on it. g is cloned and never mutated.
+//
+// With Config.WAL set, the log directory must be fresh (use Recover to
+// resume an existing one); New normalizes g's edge-ID layout via
+// graph.Compact and writes the initial checkpoint at epoch 1 so recovery
+// never needs the original input graph.
 func New(g *graph.Graph, cfg Config) (*Oracle, error) {
+	if cfg.WAL != nil {
+		if cfg.WAL.HasState() {
+			return nil, fmt.Errorf("oracle: WAL directory %s already holds state; use Recover", cfg.WAL.Dir())
+		}
+		// Compact so the live edge-ID layout matches what the checkpoint
+		// files serialize: recovered IDs are then identical to live ones.
+		g = graph.Compact(g)
+	}
 	m, err := dynamic.New(g, dynamic.Config{
 		K:                cfg.K,
 		F:                cfg.F,
@@ -297,9 +371,23 @@ func New(g *graph.Graph, cfg Config) (*Oracle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("oracle: %w", err)
 	}
-	// Adopt the maintainer's resolved knobs (Mode normalized to Vertex,
-	// StalenessBudget defaulted, BuildParallelism resolved) so Config()
-	// reports what actually runs.
+	o := newFromMaintainer(m, cfg, 1, nil)
+	if o.wal != nil {
+		if err := wal.WriteCheckpoint(o.wal.Dir(), 1, o.configStamp(), m.Graph(), m.Spanner()); err != nil {
+			return nil, fmt.Errorf("oracle: initial checkpoint: %w", err)
+		}
+		o.checkpoints.Add(1)
+		o.lastCkptEpoch.Store(1)
+	}
+	return o, nil
+}
+
+// newFromMaintainer finishes construction from an already-built maintainer,
+// shared by New and Recover. It adopts the maintainer's resolved knobs
+// (Mode normalized to Vertex, StalenessBudget defaulted, BuildParallelism
+// resolved) so Config() reports what actually runs, and publishes the
+// snapshot for epoch.
+func newFromMaintainer(m *dynamic.Maintainer, cfg Config, epoch uint64, rec *RecoveryInfo) *Oracle {
 	mc := m.Config()
 	cfg.Mode = mc.Mode
 	cfg.StalenessBudget = mc.StalenessBudget
@@ -310,9 +398,24 @@ func New(g *graph.Graph, cfg Config) (*Oracle, error) {
 	if cfg.SnapshotRetain < 1 {
 		cfg.SnapshotRetain = 1
 	}
-	o := &Oracle{cfg: cfg, n: g.N(), retain: cfg.SnapshotRetain, m: m}
+	if cfg.WAL != nil && cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
+	}
+	g := m.Graph()
+	o := &Oracle{
+		cfg:             cfg,
+		n:               g.N(),
+		retain:          cfg.SnapshotRetain,
+		m:               m,
+		wal:             cfg.WAL,
+		checkpointEvery: cfg.CheckpointEvery,
+		recovery:        rec,
+	}
+	if cfg.ApplyQueue > 0 {
+		o.applySlots = make(chan struct{}, cfg.ApplyQueue)
+	}
 	o.snap.Store(&snapshot{
-		epoch:   1,
+		epoch:   epoch,
 		spanner: graph.BuildCSR(m.Spanner()),
 		g:       graph.BuildCSR(m.Graph()),
 		maint:   m.Stats(),
@@ -322,7 +425,7 @@ func New(g *graph.Graph, cfg Config) (*Oracle, error) {
 	if cfg.CacheCapacity >= 0 {
 		o.cache = newResultCache(cfg.CacheCapacity, g.N())
 	}
-	return o, nil
+	return o
 }
 
 // Config returns the oracle's resolved configuration.
@@ -519,6 +622,17 @@ func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 // the atomic swap and only the cache shards owning vertices the batch
 // touched are invalidated. A validation error leaves graph, spanner,
 // epoch, and cache unchanged.
+//
+// With a WAL, Apply is write-ahead: the batch is validated (no mutation),
+// durably appended, and only then applied — so an acknowledged batch is
+// always recoverable, and a batch that fails validation is never logged.
+// Any failure after the append (the log is ahead of, or disagrees with,
+// memory) permanently degrades the oracle: reads keep serving the last
+// published snapshot, every further Apply returns ErrDegraded, and the
+// operator restarts the process to Recover from the log.
+//
+// With Config.ApplyQueue > 0, an Apply beyond the bound sheds immediately
+// with an *OverloadedError instead of queueing on the writer mutex.
 func (o *Oracle) Apply(b dynamic.Batch) error {
 	_, err := o.apply(b)
 	return err
@@ -528,11 +642,45 @@ func (o *Oracle) Apply(b dynamic.Batch) error {
 // mutex — the HTTP /batch handler reports it, and a separate Epoch() call
 // after the mutex is released could name a later concurrent batch's epoch.
 func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
+	if o.applySlots != nil {
+		select {
+		case o.applySlots <- struct{}{}:
+			defer func() { <-o.applySlots }()
+		default:
+			o.applyShed.Add(1)
+			return o.snap.Load().epoch, &OverloadedError{RetryAfter: o.retryAfterHint()}
+		}
+	}
 	o.wmu.Lock()
 	defer o.wmu.Unlock()
+	applyStart := time.Now()
+	if o.degraded.Load() {
+		return o.snap.Load().epoch, ErrDegraded
+	}
 	cur := o.snap.Load()
+	if o.wal != nil {
+		// Validate without mutating so a bad batch is rejected before it
+		// pollutes the log, then append: write-ahead of the state change.
+		if err := o.m.Validate(b); err != nil {
+			return cur.epoch, fmt.Errorf("oracle: %w", err)
+		}
+		if err := o.wal.AppendBatch(cur.epoch+1, b); err != nil {
+			o.degraded.Store(true)
+			return cur.epoch, fmt.Errorf("oracle: wal append: %w", err)
+		}
+		if err := faultinject.Fire(faultinject.AfterAppend); err != nil {
+			o.degraded.Store(true)
+			return cur.epoch, fmt.Errorf("oracle: %w", err)
+		}
+	}
 	delta, err := o.m.ApplyBatch(b)
 	if err != nil {
+		if o.wal != nil {
+			// The record is durable but memory rejected it after passing
+			// Validate: the log is ahead of memory and the in-process state
+			// can no longer be trusted to match a future recovery.
+			o.degraded.Store(true)
+		}
 		return cur.epoch, fmt.Errorf("oracle: %w", err)
 	}
 	start := time.Now()
@@ -576,12 +724,36 @@ func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
 		o.shardsInvalidated.Add(uint64(next.invalidated))
 	}
 
+	if err := faultinject.Fire(faultinject.BeforePublish); err != nil {
+		// Memory is mutated but readers never saw it; a restart replays the
+		// logged batch, so recovery converges on the mutated state.
+		o.degraded.Store(true)
+		return cur.epoch, fmt.Errorf("oracle: %w", err)
+	}
 	next.swapNs = time.Since(start).Nanoseconds()
+	o.publishLocked(next, cur)
+	o.batches.Add(1)
+	o.lastApplyNs.Store(time.Since(applyStart).Nanoseconds())
+
+	if o.wal != nil && o.checkpointEvery > 0 {
+		o.sinceCkpt++
+		if o.sinceCkpt >= o.checkpointEvery {
+			if err := o.checkpointLocked(); err != nil {
+				// The batch itself is published and durable; only the
+				// checkpoint barrier failed (which degrades on its own).
+				return next.epoch, fmt.Errorf("oracle: checkpoint: %w", err)
+			}
+		}
+	}
+	return next.epoch, nil
+}
+
+// publishLocked swaps in next (whose prev becomes cur) and slides the
+// retention window: the snapshot past depth retain is unlinked so retired
+// epochs (and their CSRs) become collectible. Caller holds wmu.
+func (o *Oracle) publishLocked(next, cur *snapshot) {
 	next.prev.Store(cur)
 	o.snap.Store(next)
-
-	// Slide the retention window: unlink the snapshot past depth retain so
-	// retired epochs (and their CSRs) become collectible.
 	node := next
 	for i := 1; i < o.retain && node != nil; i++ {
 		node = node.prev.Load()
@@ -589,8 +761,6 @@ func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
 	if node != nil {
 		node.prev.Store(nil)
 	}
-	o.batches.Add(1)
-	return next.epoch, nil
 }
 
 // Stats assembles a snapshot of the counters, lock-free: graph shape and
@@ -638,5 +808,16 @@ func (o *Oracle) Stats() Stats {
 	st.K = o.cfg.K
 	st.F = o.cfg.F
 	st.Mode = o.cfg.Mode.String()
+	st.Degraded = o.degraded.Load()
+	st.ApplyShed = o.applyShed.Load()
+	st.ApplyQueue = o.cfg.ApplyQueue
+	if o.wal != nil {
+		ws := o.wal.LogStats()
+		st.WAL = &ws
+		st.Checkpoints = o.checkpoints.Load()
+		st.CheckpointErrors = o.checkpointErrs.Load()
+		st.LastCheckpointEpoch = o.lastCkptEpoch.Load()
+		st.Recovery = o.recovery
+	}
 	return st
 }

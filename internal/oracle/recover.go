@@ -1,0 +1,302 @@
+package oracle
+
+// Durability: write-ahead churn log, checkpoint barriers, crash recovery,
+// and graceful degradation.
+//
+// The invariant everything here serves: at any instant, the WAL directory
+// alone reconstructs the oracle byte-identically — same spanner edge set,
+// same edge-ID layout, same epoch. Two mechanisms make that exact rather
+// than merely approximate:
+//
+//   - Write-ahead ordering. Apply validates the batch (no mutation),
+//     appends it to the log, and only then mutates. A crash before the
+//     append loses an unacknowledged batch (fine); a crash after it is
+//     replayed on recovery. Replay is deterministic because
+//     dynamic.ApplyBatch is: decisions depend only on the graph, the
+//     spanner, and the batch — never on wall clock or scheduling.
+//
+//   - Checkpoint as compaction barrier. A repair-evolved spanner is not
+//     what a fresh build on the churned graph would produce, and free-list
+//     edge-ID reuse makes the live ID layout depend on the whole update
+//     history — so a naive "checkpoint = dump the graph, recover = rebuild"
+//     would not be identical. Instead a checkpoint first appends a marker
+//     record (the durable commit of the barrier), then compacts the live
+//     state itself: graph.Compact renumbers live edges into the exact
+//     layout the checkpoint file serializes, and the maintainer rebuilds
+//     its spanner fresh from that graph. Live state after the barrier ==
+//     fresh build on the checkpoint graph == recovered state. The marker
+//     replays as the same Compact, so recovery from an older checkpoint
+//     crosses barriers correctly even when the checkpoint files themselves
+//     were torn by a crash.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/wal"
+)
+
+// ErrDegraded is returned by Apply after a write-ahead failure left the
+// log and memory potentially disagreeing. The state is sticky: reads keep
+// serving the last published snapshot, writes are refused, and the process
+// is expected to restart and Recover from the log.
+var ErrDegraded = errors.New("oracle: degraded after write-ahead failure; serving stale reads, refusing writes")
+
+// OverloadedError is returned by Apply when Config.ApplyQueue is exceeded:
+// the batch was shed without being validated, logged, or applied. The
+// serving layer maps it to HTTP 429 with a Retry-After header.
+type OverloadedError struct {
+	// RetryAfter is the oracle's estimate of when a slot will be free,
+	// derived from recent apply latency and the queue depth.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("oracle: apply queue full; retry after %s", e.RetryAfter)
+}
+
+// Degraded reports whether a write-ahead failure has poisoned the oracle
+// (see ErrDegraded). Lock-free.
+func (o *Oracle) Degraded() bool { return o.degraded.Load() }
+
+// retryAfterHint estimates how long a shed client should back off: the
+// last apply's latency times the queue depth, clamped to a sane band.
+func (o *Oracle) retryAfterHint() time.Duration {
+	est := time.Duration(o.lastApplyNs.Load()) * time.Duration(cap(o.applySlots))
+	if est < 50*time.Millisecond {
+		est = 50 * time.Millisecond
+	}
+	if est > 5*time.Second {
+		est = 5 * time.Second
+	}
+	return est
+}
+
+// configStamp is the single-line configuration fingerprint stored in every
+// checkpoint meta file. Replay determinism depends on each field: k/f/mode
+// shape every gap decision, the staleness budget decides when the
+// maintainer rebuilds, and weightedness selects BFS vs Dijkstra orderings.
+// Recover refuses a log written under a different stamp.
+func (o *Oracle) configStamp() string {
+	return stampFor(o.cfg, o.m.Graph().Weighted())
+}
+
+func stampFor(cfg Config, weighted bool) string {
+	return fmt.Sprintf("k=%d f=%d mode=%s staleness=%g weighted=%t",
+		cfg.K, cfg.F, cfg.Mode, cfg.StalenessBudget, weighted)
+}
+
+// Checkpoint forces a checkpoint barrier now (see the package comment in
+// this file): a marker record is appended to the WAL, the live graph and
+// spanner are compacted/rebuilt, the result is published as a new epoch
+// and written out as checkpoint files. Returns the barrier's epoch.
+//
+// Note the barrier is semantic, not just operational: the published
+// spanner is a fresh deterministic build on the compacted graph, which may
+// differ edge-for-edge from the repair-evolved spanner it replaces (both
+// are valid f-fault-tolerant (2k-1)-spanners). The result cache is fully
+// invalidated accordingly.
+func (o *Oracle) Checkpoint() (uint64, error) {
+	if o.wal == nil {
+		return 0, errors.New("oracle: Checkpoint without a WAL")
+	}
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if o.degraded.Load() {
+		return o.snap.Load().epoch, ErrDegraded
+	}
+	if err := o.checkpointLocked(); err != nil {
+		return o.snap.Load().epoch, err
+	}
+	return o.snap.Load().epoch, nil
+}
+
+// checkpointLocked runs the barrier under wmu. Failures before or during
+// the marker append or the in-memory compaction degrade the oracle;
+// failures writing the checkpoint *files* do not (the marker is already
+// durable, so recovery replays the barrier from the previous checkpoint)
+// and only increment CheckpointErrors.
+func (o *Oracle) checkpointLocked() error {
+	cur := o.snap.Load()
+	epoch := cur.epoch + 1
+	if err := o.wal.AppendCheckpointMark(epoch); err != nil {
+		o.degraded.Store(true)
+		return fmt.Errorf("mark: %w", err)
+	}
+	if err := o.m.Compact(); err != nil {
+		o.degraded.Store(true)
+		return fmt.Errorf("compact: %w", err)
+	}
+	start := time.Now()
+	next := &snapshot{
+		epoch:   epoch,
+		spanner: graph.BuildCSR(o.m.Spanner()),
+		g:       graph.BuildCSR(o.m.Graph()),
+		maint:   o.m.Stats(),
+	}
+	o.csrFullBuilds.Add(1)
+	o.csrFullBuildNs.Add(time.Since(start).Nanoseconds())
+	// The rebuilt spanner may differ from the evolved one it replaces, so
+	// every cached answer is stale: full invalidation, like any rebuild.
+	if o.cache != nil {
+		next.invalidated = o.cache.invalidateAll(epoch)
+		o.shardsInvalidated.Add(uint64(next.invalidated))
+	}
+	next.swapNs = time.Since(start).Nanoseconds()
+	o.publishLocked(next, cur)
+	o.sinceCkpt = 0
+
+	if err := wal.WriteCheckpoint(o.wal.Dir(), epoch, o.configStamp(), o.m.Graph(), o.m.Spanner()); err != nil {
+		o.checkpointErrs.Add(1)
+		return nil
+	}
+	o.checkpoints.Add(1)
+	o.lastCkptEpoch.Store(epoch)
+	wal.PruneCheckpoints(o.wal.Dir(), 2)
+	return nil
+}
+
+// Close syncs and closes the WAL (a no-op without one). Reads keep
+// working after Close; a later Apply fails on the closed log and degrades.
+func (o *Oracle) Close() error {
+	if o.wal == nil {
+		return nil
+	}
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	return o.wal.Close()
+}
+
+// RecoveryInfo describes what Recover did.
+type RecoveryInfo struct {
+	// CheckpointEpoch is the epoch of the checkpoint recovery started from;
+	// Epoch is the final epoch after replaying the log suffix — identical
+	// to the epoch the pre-crash oracle last published durably.
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	Epoch           uint64 `json:"epoch"`
+	// ReplayedBatches / ReplayedCheckpoints count the log records applied
+	// on top of the checkpoint; SkippedRecords were at or before it.
+	ReplayedBatches     int `json:"replayed_batches"`
+	ReplayedCheckpoints int `json:"replayed_checkpoints"`
+	SkippedRecords      int `json:"skipped_records"`
+	// TornTailBytes is how much torn tail wal.Open truncated off the log
+	// before replay (0 after a clean shutdown).
+	TornTailBytes int64 `json:"torn_tail_bytes"`
+	// LoadNs covers loading and verifying the checkpoint (including the
+	// fresh spanner build); ReplayNs covers replaying the log suffix.
+	LoadNs   int64 `json:"load_ns"`
+	ReplayNs int64 `json:"replay_ns"`
+}
+
+// Recover reconstructs the oracle from w's directory: newest committed
+// checkpoint, then replay of every log record after it. By write-ahead
+// ordering and replay determinism the result is byte-identical to the
+// pre-crash oracle's durable state — same spanner edge set, same edge-ID
+// layout, same epoch. w must be freshly Opened (Open already truncated any
+// torn tail); the recovered oracle takes ownership of it and continues
+// appending where the log left off.
+//
+// cfg must match the configuration the log was written under (checked
+// against the checkpoint's config stamp); cfg.WAL is ignored and replaced
+// by w.
+func Recover(w *wal.Log, cfg Config) (*Oracle, RecoveryInfo, error) {
+	var info RecoveryInfo
+	info.TornTailBytes = w.TornBytes()
+
+	loadStart := time.Now()
+	ck, err := wal.LoadNewestCheckpoint(w.Dir())
+	if err != nil {
+		return nil, info, fmt.Errorf("oracle: recover: %w", err)
+	}
+	if ck == nil {
+		return nil, info, fmt.Errorf("oracle: recover: no committed checkpoint in %s", w.Dir())
+	}
+	info.CheckpointEpoch = ck.Epoch
+	m, err := dynamic.New(ck.Graph, dynamic.Config{
+		K:                cfg.K,
+		F:                cfg.F,
+		Mode:             cfg.Mode,
+		StalenessBudget:  cfg.StalenessBudget,
+		BuildParallelism: cfg.BuildParallelism,
+	})
+	if err != nil {
+		return nil, info, fmt.Errorf("oracle: recover: %w", err)
+	}
+	mc := m.Config()
+	resolved := cfg
+	resolved.Mode = mc.Mode
+	resolved.StalenessBudget = mc.StalenessBudget
+	if stamp := stampFor(resolved, ck.Graph.Weighted()); stamp != ck.Config {
+		return nil, info, fmt.Errorf("oracle: recover: config mismatch: checkpoint written under %q, caller configured %q", ck.Config, stamp)
+	}
+	// Defense in depth: the freshly built spanner must equal the
+	// checkpointed one edge-for-edge (the checkpoint was written right
+	// after the same deterministic build). A mismatch means corruption the
+	// CRCs missed or a construction-determinism regression — either way,
+	// replaying on top would silently diverge from the pre-crash state.
+	if err := sameEdgeTable(m.Spanner(), ck.Spanner); err != nil {
+		return nil, info, fmt.Errorf("oracle: recover: rebuilt spanner disagrees with checkpoint %d: %w", ck.Epoch, err)
+	}
+	info.LoadNs = time.Since(loadStart).Nanoseconds()
+
+	replayStart := time.Now()
+	epoch := ck.Epoch
+	for _, rec := range w.Records() {
+		if rec.Epoch <= ck.Epoch {
+			info.SkippedRecords++
+			continue
+		}
+		if rec.Epoch != epoch+1 {
+			return nil, info, fmt.Errorf("oracle: recover: log gap: record epoch %d follows %d", rec.Epoch, epoch)
+		}
+		switch rec.Type {
+		case wal.RecordBatch:
+			if _, err := m.ApplyBatch(rec.Batch); err != nil {
+				return nil, info, fmt.Errorf("oracle: recover: replay epoch %d: %w", rec.Epoch, err)
+			}
+			info.ReplayedBatches++
+		case wal.RecordCheckpoint:
+			if err := m.Compact(); err != nil {
+				return nil, info, fmt.Errorf("oracle: recover: replay barrier epoch %d: %w", rec.Epoch, err)
+			}
+			info.ReplayedCheckpoints++
+		default:
+			return nil, info, fmt.Errorf("oracle: recover: unknown record type %d at epoch %d", rec.Type, rec.Epoch)
+		}
+		epoch = rec.Epoch
+	}
+	info.ReplayNs = time.Since(replayStart).Nanoseconds()
+	info.Epoch = epoch
+
+	cfg.WAL = w
+	o := newFromMaintainer(m, cfg, epoch, &info)
+	o.lastCkptEpoch.Store(ck.Epoch)
+	return o, info, nil
+}
+
+// sameEdgeTable verifies a and b are identical as edge tables: same vertex
+// count and same (U, V, W) at every edge ID, dead slots included.
+func sameEdgeTable(a, b graph.View) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("n %d vs %d", a.N(), b.N())
+	}
+	if a.EdgeIDLimit() != b.EdgeIDLimit() {
+		return fmt.Errorf("edge-ID limit %d vs %d", a.EdgeIDLimit(), b.EdgeIDLimit())
+	}
+	for id := 0; id < a.EdgeIDLimit(); id++ {
+		if a.EdgeAlive(id) != b.EdgeAlive(id) {
+			return fmt.Errorf("edge %d alive %v vs %v", id, a.EdgeAlive(id), b.EdgeAlive(id))
+		}
+		if !a.EdgeAlive(id) {
+			continue
+		}
+		ea, eb := a.Edge(id), b.Edge(id)
+		if ea.U != eb.U || ea.V != eb.V || ea.W != eb.W {
+			return fmt.Errorf("edge %d: (%d,%d,%g) vs (%d,%d,%g)", id, ea.U, ea.V, ea.W, eb.U, eb.V, eb.W)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,511 @@
+package oracle
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/faultinject"
+	"ftspanner/internal/graph"
+	"ftspanner/internal/verify"
+	"ftspanner/internal/wal"
+)
+
+func openWAL(t *testing.T, dir string) *wal.Log {
+	t.Helper()
+	w, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// churnBatches builds count valid batches of ~size updates each against an
+// evolving clone of g, deterministic in seed: each batch deletes existing
+// edges and inserts fresh pairs, so every batch passes validation when
+// applied in order.
+func churnBatches(t *testing.T, g *graph.Graph, seed int64, count, size int) []dynamic.Batch {
+	t.Helper()
+	c := g.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	n := c.N()
+	out := make([]dynamic.Batch, 0, count)
+	for i := 0; i < count; i++ {
+		var b dynamic.Batch
+		for j := 0; j < size/2; j++ {
+			ids := c.EdgeIDs()
+			if len(ids) == 0 {
+				break
+			}
+			e := c.Edge(ids[rng.Intn(len(ids))])
+			b.Delete = append(b.Delete, dynamic.Update{U: e.U, V: e.V})
+			if _, err := c.RemoveEdgeBetween(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := 0; j < (size+1)/2; j++ {
+			for tries := 0; tries < 50; tries++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v || c.HasEdge(u, v) {
+					continue
+				}
+				b.Insert = append(b.Insert, dynamic.Update{U: u, V: v, W: 1})
+				c.MustAddEdgeW(u, v, 1)
+				break
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// sameOracleState asserts two oracles are byte-identical where durability
+// promises it: same epoch, and the same edge table (IDs included) for both
+// the maintained graph and the maintained spanner.
+func sameOracleState(t *testing.T, got, want *Oracle) {
+	t.Helper()
+	if ge, we := got.Epoch(), want.Epoch(); ge != we {
+		t.Fatalf("epoch %d, want %d", ge, we)
+	}
+	if err := sameEdgeTable(got.m.Graph(), want.m.Graph()); err != nil {
+		t.Fatalf("graph differs: %v", err)
+	}
+	if err := sameEdgeTable(got.m.Spanner(), want.m.Spanner()); err != nil {
+		t.Fatalf("spanner differs: %v", err)
+	}
+}
+
+// queryIdentityCheck runs sampled queries on the recovered oracle and
+// verifies every answer against the recovered spanner snapshot.
+func queryIdentityCheck(t *testing.T, o *Oracle, queries int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := o.m.Graph().N()
+	for i := 0; i < queries; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		var faults []int
+		if o.Config().F > 0 && rng.Intn(2) == 0 {
+			f := rng.Intn(n)
+			if f != u && f != v {
+				faults = append(faults, f)
+			}
+		}
+		res, err := o.Query(u, v, QueryOptions{FaultVertices: faults, NoCache: true})
+		if err != nil {
+			t.Fatalf("query {%d,%d}: %v", u, v, err)
+		}
+		_, snapH, ok := o.SnapshotAt(res.Epoch)
+		if !ok {
+			t.Fatalf("epoch %d slid out of retention immediately", res.Epoch)
+		}
+		if err := verify.CheckServedAnswer(snapH, verify.ServedAnswer{
+			U: u, V: v, Dist: res.Distance, Path: res.Path, FaultVertices: faults,
+		}); err != nil {
+			t.Fatalf("served answer {%d,%d}: %v", u, v, err)
+		}
+	}
+}
+
+func TestRecoverFreshOracle(t *testing.T) {
+	dir := t.TempDir()
+	g := mustGNP(t, 11, 60, 6)
+	w := openWAL(t, dir)
+	o, err := New(g, Config{K: 2, F: 1, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, info, err := Recover(openWAL(t, dir), Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if info.CheckpointEpoch != 1 || info.Epoch != 1 || info.ReplayedBatches != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	sameOracleState(t, r, o)
+	if st := r.Stats(); st.Recovery == nil || st.Recovery.Epoch != 1 {
+		t.Fatalf("Stats().Recovery = %+v", st.Recovery)
+	}
+}
+
+// TestRecoverAfterChurn is the core identity test: apply batches across
+// several checkpoint barriers, "crash" (drop the oracle without any clean
+// shutdown beyond the WAL's own fsyncs), recover, and require the exact
+// epoch and edge tables back — then verify sampled served answers.
+func TestRecoverAfterChurn(t *testing.T) {
+	dir := t.TempDir()
+	g := mustGNP(t, 12, 80, 6)
+	w := openWAL(t, dir)
+	o, err := New(g, Config{K: 2, F: 1, WAL: w, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := churnBatches(t, o.m.Graph(), 13, 11, 6)
+	for i, b := range batches {
+		if err := o.Apply(b); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, info, err := Recover(openWAL(t, dir), Config{K: 2, F: 1, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sameOracleState(t, r, o)
+	// 11 batches with a barrier every 4 applies: epochs 1(+4b)=5 →6 barrier,
+	// (+4b)=10 →11 barrier, (+3b)=14. Recovery starts from the newest
+	// committed checkpoint (epoch 11) and replays the 3-batch suffix.
+	if info.Epoch != o.Epoch() {
+		t.Fatalf("recovered epoch %d, live %d", info.Epoch, o.Epoch())
+	}
+	if info.CheckpointEpoch != 11 || info.ReplayedBatches != 3 || info.ReplayedCheckpoints != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	if st := r.Stats(); st.Maintainer.Compactions != 0 {
+		t.Fatalf("recovered from newest checkpoint should not replay barriers, got %d", st.Maintainer.Compactions)
+	}
+	queryIdentityCheck(t, r, 1000, 99)
+
+	// The recovered oracle keeps working: one more batch applies cleanly.
+	more := churnBatches(t, r.m.Graph(), 14, 1, 4)
+	if err := r.Apply(more[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != info.Epoch+1 {
+		t.Fatalf("post-recovery epoch %d, want %d", r.Epoch(), info.Epoch+1)
+	}
+}
+
+// crashPointCase drives a victim oracle into an injected crash at a named
+// point and checks recovery lands on exactly the state a reference oracle
+// (same inputs, no injection) reaches — the definition of "the WAL never
+// loses an acknowledged-durable batch and never invents one".
+func crashPointCase(t *testing.T, point string, wantLastBatch bool) {
+	g := mustGNP(t, 21, 70, 6)
+	cfg := Config{K: 2, F: 1, CheckpointEvery: 100}
+
+	refDir, vicDir := t.TempDir(), t.TempDir()
+	refCfg := cfg
+	refCfg.WAL = openWAL(t, refDir)
+	ref, err := New(g, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	vicCfg := cfg
+	vicCfg.WAL = openWAL(t, vicDir)
+	vic, err := New(g, vicCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batches := churnBatches(t, ref.m.Graph(), 22, 6, 6)
+	for i, b := range batches[:5] {
+		if err := ref.Apply(b); err != nil {
+			t.Fatalf("ref apply %d: %v", i, err)
+		}
+		if err := vic.Apply(b); err != nil {
+			t.Fatalf("vic apply %d: %v", i, err)
+		}
+	}
+	// The reference applies the final batch cleanly only if the injected
+	// crash happens after the record is durable (the batch must then appear
+	// post-recovery); a crash before durability must lose it instead.
+	if wantLastBatch {
+		if err := ref.Apply(batches[5]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Fail(point)
+	err = vic.Apply(batches[5])
+	faultinject.Reset()
+	if err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("victim apply with %s armed: %v", point, err)
+	}
+	if !vic.Degraded() {
+		t.Fatal("victim not degraded after injected crash")
+	}
+	// Degraded mode: reads still work, writes are refused.
+	if _, err := vic.Query(0, 1, QueryOptions{}); err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if err := vic.Apply(batches[4]); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded write returned %v, want ErrDegraded", err)
+	}
+	if !vic.Stats().Degraded {
+		t.Fatal("Stats().Degraded = false")
+	}
+	if err := vic.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, info, err := Recover(openWAL(t, vicDir), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	sameOracleState(t, rec, ref)
+	wantReplayed := 5
+	if wantLastBatch {
+		wantReplayed = 6
+	}
+	if info.ReplayedBatches != wantReplayed {
+		t.Fatalf("replayed %d batches, want %d", info.ReplayedBatches, wantReplayed)
+	}
+	queryIdentityCheck(t, rec, 200, 77)
+}
+
+func TestCrashAfterAppend(t *testing.T) {
+	// The record hit the log before the crash: recovery must include it.
+	crashPointCase(t, faultinject.AfterAppend, true)
+}
+
+func TestCrashBeforePublish(t *testing.T) {
+	// Memory was mutated but never published; the record is durable, so
+	// recovery converges on the post-batch state all the same.
+	crashPointCase(t, faultinject.BeforePublish, true)
+}
+
+// TestCrashMidCheckpoint tears the checkpoint files (meta never written)
+// while the marker record is already durable: the live oracle tolerates it
+// (counts a checkpoint error, keeps serving), and recovery falls back to
+// the previous checkpoint and replays across the barrier.
+func TestCrashMidCheckpoint(t *testing.T) {
+	g := mustGNP(t, 31, 70, 6)
+	cfg := Config{K: 2, F: 1, CheckpointEvery: 3}
+
+	refDir, vicDir := t.TempDir(), t.TempDir()
+	refCfg := cfg
+	refCfg.WAL = openWAL(t, refDir)
+	ref, err := New(g, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	vicCfg := cfg
+	vicCfg.WAL = openWAL(t, vicDir)
+	vic, err := New(g, vicCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batches := churnBatches(t, ref.m.Graph(), 32, 5, 6)
+	for i, b := range batches[:2] {
+		if err := ref.Apply(b); err != nil {
+			t.Fatalf("ref apply %d: %v", i, err)
+		}
+		if err := vic.Apply(b); err != nil {
+			t.Fatalf("vic apply %d: %v", i, err)
+		}
+	}
+	// Batch 3 triggers the barrier. The victim's checkpoint files tear;
+	// the reference's commit cleanly.
+	if err := ref.Apply(batches[2]); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Fail(faultinject.MidCheckpoint)
+	err = vic.Apply(batches[2])
+	faultinject.Reset()
+	if err != nil {
+		t.Fatalf("a torn checkpoint file set must not fail the apply: %v", err)
+	}
+	if vic.Degraded() {
+		t.Fatal("torn checkpoint files must not degrade (the marker is durable)")
+	}
+	st := vic.Stats()
+	if st.CheckpointErrors != 1 || st.Checkpoints != 1 { // 1 = the initial checkpoint
+		t.Fatalf("checkpoint counters: %d errors / %d ok", st.CheckpointErrors, st.Checkpoints)
+	}
+	// Live on: two more batches on both sides.
+	for i, b := range batches[3:] {
+		if err := ref.Apply(b); err != nil {
+			t.Fatalf("ref apply %d: %v", i+3, err)
+		}
+		if err := vic.Apply(b); err != nil {
+			t.Fatalf("vic apply %d: %v", i+3, err)
+		}
+	}
+	sameOracleState(t, vic, ref) // barrier semantics identical with or without files
+	if err := vic.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, info, err := Recover(openWAL(t, vicDir), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	sameOracleState(t, rec, ref)
+	// Fallback path: initial checkpoint (epoch 1), then 3 batches, the
+	// barrier marker, and 2 more batches.
+	if info.CheckpointEpoch != 1 || info.ReplayedBatches != 5 || info.ReplayedCheckpoints != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	queryIdentityCheck(t, rec, 200, 78)
+}
+
+// TestAppendIOErrorDegrades models disk trouble (not a crash): the append
+// itself errors, nothing was acknowledged, the oracle degrades, and
+// recovery lands on the pre-failure state.
+func TestAppendIOErrorDegrades(t *testing.T) {
+	dir := t.TempDir()
+	g := mustGNP(t, 41, 60, 6)
+	o, err := New(g, Config{K: 2, F: 1, WAL: openWAL(t, dir), CheckpointEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := churnBatches(t, o.m.Graph(), 42, 3, 5)
+	for _, b := range batches[:2] {
+		if err := o.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochBefore := o.Epoch()
+	faultinject.Fail(faultinject.AppendError)
+	err = o.Apply(batches[2])
+	faultinject.Reset()
+	if err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("apply with failing appends: %v", err)
+	}
+	if !o.Degraded() {
+		t.Fatal("not degraded after append IO error")
+	}
+	if o.Epoch() != epochBefore {
+		t.Fatal("failed append advanced the epoch")
+	}
+	o.Close()
+
+	rec, info, err := Recover(openWAL(t, dir), Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Epoch() != epochBefore || info.ReplayedBatches != 2 {
+		t.Fatalf("recovered epoch %d (replayed %d), want %d (2)", rec.Epoch(), info.ReplayedBatches, epochBefore)
+	}
+}
+
+func TestNewRefusesDirtyWALDir(t *testing.T) {
+	dir := t.TempDir()
+	g := mustGNP(t, 51, 40, 5)
+	o, err := New(g, Config{K: 2, F: 1, WAL: openWAL(t, dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	if _, err := New(g, Config{K: 2, F: 1, WAL: openWAL(t, dir)}); err == nil {
+		t.Fatal("New accepted a WAL directory that already holds state")
+	}
+}
+
+func TestRecoverConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	g := mustGNP(t, 52, 40, 5)
+	o, err := New(g, Config{K: 2, F: 1, WAL: openWAL(t, dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	if _, _, err := Recover(openWAL(t, dir), Config{K: 3, F: 1}); err == nil {
+		t.Fatal("Recover accepted a different K than the log was written under")
+	}
+	if _, _, err := Recover(openWAL(t, dir), Config{K: 2, F: 2}); err == nil {
+		t.Fatal("Recover accepted a different F than the log was written under")
+	}
+}
+
+func TestRecoverEmptyDirFails(t *testing.T) {
+	if _, _, err := Recover(openWAL(t, t.TempDir()), Config{K: 2, F: 1}); err == nil {
+		t.Fatal("Recover succeeded with no checkpoint")
+	}
+}
+
+// TestManualCheckpoint pins the Checkpoint API: it bumps the epoch by one
+// (the barrier), resets the replay suffix, and recovery then starts from
+// the new checkpoint.
+func TestManualCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	g := mustGNP(t, 61, 60, 6)
+	o, err := New(g, Config{K: 2, F: 1, WAL: openWAL(t, dir), CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range churnBatches(t, o.m.Graph(), 62, 3, 5) {
+		if err := o.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch, err := o.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 5 {
+		t.Fatalf("barrier epoch %d, want 5", epoch)
+	}
+	if o.Stats().LastCheckpointEpoch != 5 {
+		t.Fatalf("LastCheckpointEpoch = %d", o.Stats().LastCheckpointEpoch)
+	}
+	o.Close()
+	rec, info, err := Recover(openWAL(t, dir), Config{K: 2, F: 1, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	sameOracleState(t, rec, o)
+	if info.CheckpointEpoch != 5 || info.ReplayedBatches != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+// TestApplyQueueSheds holds the writer mutex hostage and checks the
+// bounded queue sheds exactly the overflow with a well-formed
+// OverloadedError while slots drain back.
+func TestApplyQueueSheds(t *testing.T) {
+	g := mustGNP(t, 71, 50, 5)
+	o, err := New(g, Config{K: 2, F: 1, ApplyQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := churnBatches(t, o.m.Graph(), 72, 3, 2)
+
+	o.wmu.Lock()
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		b := batches[i]
+		go func() { done <- o.Apply(b) }()
+	}
+	// Wait until both in-flight applies hold their queue slots.
+	for len(o.applySlots) != 2 {
+		runtime.Gosched()
+	}
+	err = o.Apply(batches[2])
+	var over *OverloadedError
+	if !errors.As(err, &over) {
+		t.Fatalf("overflow apply returned %v, want *OverloadedError", err)
+	}
+	if over.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v", over.RetryAfter)
+	}
+	if o.Stats().ApplyShed != 1 {
+		t.Fatalf("ApplyShed = %d", o.Stats().ApplyShed)
+	}
+	o.wmu.Unlock()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("queued apply: %v", err)
+		}
+	}
+	// Slots drained: the shed batch now goes through.
+	if err := o.Apply(batches[2]); err != nil {
+		t.Fatalf("apply after drain: %v", err)
+	}
+}

@@ -1,0 +1,325 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ftspanner/internal/faultinject"
+	"ftspanner/internal/graph"
+)
+
+// A checkpoint is three files per epoch: the graph and spanner streamed in
+// the package text format (graph.Write, which emits live edges in ascending
+// edge-ID order — the compact layout the writer's state is normalized to at
+// checkpoint time), and a meta file naming the epoch, an opaque config
+// string, and the CRC-32C of each content file. The meta file is written
+// last, tmp+rename, so it is the atomic commit: recovery only trusts a
+// checkpoint whose meta exists, parses, and matches both content CRCs, and
+// a crash at any point during WriteCheckpoint leaves either a committed
+// checkpoint or ignorable garbage — never a half-trusted one.
+
+// Checkpoint is one committed checkpoint loaded back from disk.
+type Checkpoint struct {
+	Epoch uint64
+	// Config is the writer's opaque configuration stamp (the oracle encodes
+	// k/f/mode/weightedness); recovery refuses a checkpoint written under a
+	// different configuration, since replay determinism depends on it.
+	Config  string
+	Graph   *graph.Graph
+	Spanner *graph.Graph
+}
+
+func ckptBase(epoch uint64) string { return fmt.Sprintf("ckpt-%016x", epoch) }
+
+// ckptEpoch parses the epoch out of a ckpt-<16 hex>.<ext> filename.
+func ckptEpoch(name string) (uint64, bool) {
+	base := filepath.Base(name)
+	if !strings.HasPrefix(base, "ckpt-") {
+		return 0, false
+	}
+	hex := strings.TrimPrefix(base, "ckpt-")
+	if i := strings.IndexByte(hex, '.'); i >= 0 {
+		hex = hex[:i]
+	}
+	if len(hex) != 16 {
+		return 0, false
+	}
+	epoch, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return epoch, true
+}
+
+// writeContentFile streams g to <dir>/<name> via tmp+rename and returns the
+// CRC-32C of the file contents.
+func writeContentFile(dir, name string, g graph.View) (uint32, error) {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	crc := crc32.New(crcTable)
+	if err := graph.Write(io.MultiWriter(f, crc), g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
+	}
+	return crc.Sum32(), nil
+}
+
+// WriteCheckpoint streams g and h into dir as the checkpoint for epoch and
+// commits it by writing the meta file last. config is the writer's opaque
+// configuration stamp, echoed back by LoadNewestCheckpoint.
+func WriteCheckpoint(dir string, epoch uint64, config string, g, h graph.View) error {
+	if strings.ContainsAny(config, "\n\r") {
+		return fmt.Errorf("wal: checkpoint config must be a single line")
+	}
+	base := ckptBase(epoch)
+	gCRC, err := writeContentFile(dir, base+".graph", g)
+	if err != nil {
+		return err
+	}
+	hCRC, err := writeContentFile(dir, base+".spanner", h)
+	if err != nil {
+		return err
+	}
+	// The adversarial crash point: content on disk, commit record not.
+	if err := faultinject.Fire(faultinject.MidCheckpoint); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	metaTmp := filepath.Join(dir, base+".meta.tmp")
+	meta := fmt.Sprintf("ftckpt 1\nepoch %d\ngraph_crc %08x\nspanner_crc %08x\nconfig %s\n",
+		epoch, gCRC, hCRC, config)
+	f, err := os.Create(metaTmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint meta: %w", err)
+	}
+	if _, err := f.WriteString(meta); err != nil {
+		f.Close()
+		os.Remove(metaTmp)
+		return fmt.Errorf("wal: checkpoint meta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(metaTmp)
+		return fmt.Errorf("wal: checkpoint meta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(metaTmp)
+		return fmt.Errorf("wal: checkpoint meta: %w", err)
+	}
+	if err := os.Rename(metaTmp, filepath.Join(dir, base+".meta")); err != nil {
+		os.Remove(metaTmp)
+		return fmt.Errorf("wal: checkpoint meta: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory so renames survive power loss. Best-effort:
+// some filesystems refuse directory fsync, which is not worth failing a
+// checkpoint over.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+type ckptMeta struct {
+	epoch      uint64
+	graphCRC   uint32
+	spannerCRC uint32
+	config     string
+}
+
+func readMeta(path string) (ckptMeta, error) {
+	var m ckptMeta
+	f, err := os.Open(path)
+	if err != nil {
+		return m, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		lines++
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return m, fmt.Errorf("wal: meta line %q", line)
+		}
+		switch key {
+		case "ftckpt":
+			if val != "1" {
+				return m, fmt.Errorf("wal: meta version %q", val)
+			}
+		case "epoch":
+			if m.epoch, err = strconv.ParseUint(val, 10, 64); err != nil {
+				return m, fmt.Errorf("wal: meta epoch %q", val)
+			}
+		case "graph_crc":
+			crc, err := strconv.ParseUint(val, 16, 32)
+			if err != nil {
+				return m, fmt.Errorf("wal: meta graph_crc %q", val)
+			}
+			m.graphCRC = uint32(crc)
+		case "spanner_crc":
+			crc, err := strconv.ParseUint(val, 16, 32)
+			if err != nil {
+				return m, fmt.Errorf("wal: meta spanner_crc %q", val)
+			}
+			m.spannerCRC = uint32(crc)
+		case "config":
+			m.config = val
+		default:
+			return m, fmt.Errorf("wal: meta key %q", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return m, err
+	}
+	if lines < 4 {
+		return m, fmt.Errorf("wal: meta truncated (%d lines)", lines)
+	}
+	return m, nil
+}
+
+// readContentFile reads a checkpoint graph/spanner file, verifying its
+// CRC-32C against the meta's record before trusting the parse.
+func readContentFile(path string, wantCRC uint32) (*graph.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(data, crcTable) != wantCRC {
+		return nil, fmt.Errorf("wal: %s: content CRC mismatch", filepath.Base(path))
+	}
+	g, err := graph.Read(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: %w", filepath.Base(path), err)
+	}
+	return g, nil
+}
+
+// committedEpochs lists the epochs with a meta file, ascending.
+func committedEpochs(dir string) ([]uint64, error) {
+	metas, err := filepath.Glob(filepath.Join(dir, "ckpt-*.meta"))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var epochs []uint64
+	for _, path := range metas {
+		if e, ok := ckptEpoch(path); ok {
+			epochs = append(epochs, e)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}
+
+// LoadNewestCheckpoint loads the newest checkpoint in dir that fully
+// validates (meta parses, both content files match their CRCs), skipping
+// torn or corrupt ones. It returns (nil, nil) when no committed checkpoint
+// exists.
+func LoadNewestCheckpoint(dir string) (*Checkpoint, error) {
+	epochs, err := committedEpochs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i := len(epochs) - 1; i >= 0; i-- {
+		ck, err := loadCheckpoint(dir, epochs[i])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return ck, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("wal: no loadable checkpoint in %s (last failure: %w)", dir, lastErr)
+	}
+	return nil, nil
+}
+
+func loadCheckpoint(dir string, epoch uint64) (*Checkpoint, error) {
+	base := ckptBase(epoch)
+	meta, err := readMeta(filepath.Join(dir, base+".meta"))
+	if err != nil {
+		return nil, err
+	}
+	if meta.epoch != epoch {
+		return nil, fmt.Errorf("wal: %s.meta names epoch %d", base, meta.epoch)
+	}
+	g, err := readContentFile(filepath.Join(dir, base+".graph"), meta.graphCRC)
+	if err != nil {
+		return nil, err
+	}
+	h, err := readContentFile(filepath.Join(dir, base+".spanner"), meta.spannerCRC)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{Epoch: epoch, Config: meta.config, Graph: g, Spanner: h}, nil
+}
+
+// PruneCheckpoints removes checkpoint files beyond the keep newest
+// committed epochs. Uncommitted leftovers (content files without a meta)
+// older than the newest committed epoch are garbage from interrupted
+// checkpoints and are removed too; newer ones are left alone (they may be a
+// checkpoint in progress). Best-effort: removal errors are ignored — a
+// leftover file is re-pruned next time.
+func PruneCheckpoints(dir string, keep int) {
+	if keep < 1 {
+		keep = 1
+	}
+	committed, err := committedEpochs(dir)
+	if err != nil || len(committed) == 0 {
+		return
+	}
+	newest := committed[len(committed)-1]
+	keepSet := make(map[uint64]bool, keep)
+	for i := len(committed) - 1; i >= 0 && len(keepSet) < keep; i-- {
+		keepSet[committed[i]] = true
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "ckpt-*"))
+	if err != nil {
+		return
+	}
+	for _, path := range files {
+		if strings.HasSuffix(path, ".tmp") {
+			os.Remove(path)
+			continue
+		}
+		epoch, ok := ckptEpoch(path)
+		if !ok || keepSet[epoch] || epoch > newest {
+			continue
+		}
+		os.Remove(path)
+	}
+}

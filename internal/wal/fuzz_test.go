@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftspanner/internal/dynamic"
+)
+
+// fuzzMaxRecord keeps a hostile length prefix from turning into a 64MB
+// allocation per fuzz exec.
+const fuzzMaxRecord = 1 << 16
+
+// encodeRecord re-encodes a decoded record exactly as the log writes it:
+// length prefix, CRC-32C, payload.
+func encodeRecord(t *testing.T, rec Record) []byte {
+	t.Helper()
+	var payload []byte
+	switch rec.Type {
+	case RecordBatch:
+		var err error
+		payload, err = encodeBatchPayload(nil, rec.Epoch, rec.Batch)
+		if err != nil {
+			t.Fatalf("re-encode decoded batch: %v", err)
+		}
+	case RecordCheckpoint:
+		payload = append([]byte{RecordCheckpoint}, make([]byte, 8)...)
+		binary.LittleEndian.PutUint64(payload[1:], rec.Epoch)
+	default:
+		t.Fatalf("decoded record has invalid type %d", rec.Type)
+	}
+	out := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// seedImage builds a valid record stream (no magic header) for seeding.
+func seedImage(f *testing.F, batches []dynamic.Batch, markerEpoch uint64) []byte {
+	dir := f.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, b := range batches {
+		if err := l.AppendBatch(uint64(i+2), b); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if markerEpoch > 0 {
+		if err := l.AppendCheckpointMark(markerEpoch); err != nil {
+			f.Fatal(err)
+		}
+	}
+	l.Close()
+	data, err := os.ReadFile(filepath.Join(dir, LogName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data[len(magic):]
+}
+
+// FuzzWALRead pins the log reader's contract on arbitrary bytes: it never
+// panics, never claims more valid bytes than it read, never decodes an
+// invalid record, and — the subtle one — never silently skips or alters a
+// valid prefix: re-encoding what it decoded must reproduce the accepted
+// bytes exactly, and a file-level Open must repair to that same prefix and
+// leave an appendable log behind.
+func FuzzWALRead(f *testing.F) {
+	full := seedImage(f, []dynamic.Batch{
+		{Insert: []dynamic.Update{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 2.5}}},
+		{Delete: []dynamic.Update{{U: 0, V: 1}}},
+		{},
+		{Insert: []dynamic.Update{{U: 7, V: 9, W: math.Inf(1)}}},
+	}, 6)
+	f.Add(full)
+	f.Add([]byte{})
+	f.Add(full[:len(full)-3]) // torn tail mid-record
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	// Zero-length record, then valid-looking garbage after it.
+	zero := append([]byte(nil), full[:20]...)
+	zero = append(zero, make([]byte, 8)...)
+	f.Add(zero)
+	// Oversized length prefix.
+	over := make([]byte, 8)
+	binary.LittleEndian.PutUint32(over[0:4], math.MaxUint32)
+	f.Add(append(over, full...))
+	// A lone marker record with a huge epoch.
+	marker := seedImage(f, nil, math.MaxUint64)
+	f.Add(marker)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<18 {
+			return
+		}
+		recs, valid, err := DecodeRecords(bytes.NewReader(data), fuzzMaxRecord)
+		if err != nil {
+			t.Fatalf("in-memory reader returned IO error: %v", err)
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid=%d outside [0,%d]", valid, len(data))
+		}
+		// Re-encode the decoded prefix: it must be byte-identical to the
+		// accepted input prefix — nothing skipped, nothing altered.
+		var rebuilt []byte
+		for _, rec := range recs {
+			rebuilt = append(rebuilt, encodeRecord(t, rec)...)
+		}
+		if int64(len(rebuilt)) != valid || !bytes.Equal(rebuilt, data[:valid]) {
+			t.Fatalf("re-encoded prefix (%d bytes) differs from accepted prefix (%d bytes)", len(rebuilt), valid)
+		}
+		// Decoding the accepted prefix alone must be a fixed point.
+		recs2, valid2, err := DecodeRecords(bytes.NewReader(data[:valid]), fuzzMaxRecord)
+		if err != nil || valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("re-decode of accepted prefix: %d recs / %d bytes / %v, want %d / %d / nil",
+				len(recs2), valid2, err, len(recs), valid)
+		}
+
+		// File level: Open on magic+data must repair to the same prefix and
+		// leave a log that accepts appends and re-opens cleanly.
+		dir := t.TempDir()
+		path := filepath.Join(dir, LogName)
+		if err := os.WriteFile(path, append(append([]byte(nil), magic[:]...), data...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(Options{Dir: dir, Sync: SyncNever, MaxRecordBytes: fuzzMaxRecord})
+		if err != nil {
+			t.Fatalf("Open on repaired input: %v", err)
+		}
+		if len(l.Records()) != len(recs) || l.Size() != int64(len(magic))+valid {
+			t.Fatalf("Open decoded %d records / %d bytes, want %d / %d",
+				len(l.Records()), l.Size(), len(recs), int64(len(magic))+valid)
+		}
+		if l.TornBytes() != int64(len(data))-valid {
+			t.Fatalf("TornBytes=%d, want %d", l.TornBytes(), int64(len(data))-valid)
+		}
+		if err := l.AppendBatch(math.MaxUint64, dynamic.Batch{Insert: []dynamic.Update{{U: 1, V: 2, W: 3}}}); err != nil {
+			t.Fatalf("append after repair: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(Options{Dir: dir, Sync: SyncNever, MaxRecordBytes: fuzzMaxRecord})
+		if err != nil {
+			t.Fatalf("re-open: %v", err)
+		}
+		if len(l2.Records()) != len(recs)+1 {
+			t.Fatalf("re-open decoded %d records, want %d", len(l2.Records()), len(recs)+1)
+		}
+		l2.Close()
+	})
+}

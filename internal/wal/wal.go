@@ -1,0 +1,506 @@
+// Package wal is the durable churn log under the serving oracle: an
+// append-only, CRC-checksummed, length-prefixed record log with one record
+// per applied dynamic.Batch, plus checkpoint files that snapshot the
+// maintained graph and spanner at a named epoch.
+//
+// Together they make the oracle's state recoverable after kill -9: the
+// oracle appends every batch to the log *before* applying it (write-ahead),
+// and recovery loads the newest valid checkpoint and replays the log suffix
+// through the deterministic maintainer. Because construction and repair are
+// deterministic — and because checkpoints double as compaction barriers
+// that normalize the edge-ID layout (graph.Compact) on both the live and
+// the recovered side — the recovered state is byte-identical to the
+// pre-crash state: same spanner edge set, same edge IDs, same epoch.
+//
+// On-disk layout (Options.Dir):
+//
+//	churn.wal                 the record log
+//	ckpt-<epoch16x>.graph     checkpoint graph (package graph text format)
+//	ckpt-<epoch16x>.spanner   checkpoint spanner (same format)
+//	ckpt-<epoch16x>.meta      commit record: epoch, config, content CRCs
+//
+// Log format: an 8-byte magic header ("FTWAL001"), then records. Each
+// record is
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// with payload = type byte, epoch (8B LE), body. A batch record's body is
+// the update lists (counts, then fixed 16-byte updates); a checkpoint
+// marker's body is empty. The log is torn-tolerant by construction: Open
+// scans from the start and truncates the file at the last record whose
+// length, checksum, and structure all validate, so a crash mid-append (or a
+// partially synced tail) repairs to the longest valid prefix instead of
+// erroring — and an fsync policy of SyncAlways guarantees that prefix
+// includes every acknowledged batch.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/faultinject"
+)
+
+// SyncPolicy says when appends reach the platter.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged batch survives
+	// power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on the first append after Options.SyncInterval
+	// has elapsed since the last sync (and on Close). A crash window of at
+	// most the interval trades durability for append latency.
+	SyncInterval
+	// SyncNever never fsyncs (the OS flushes on its own schedule). Appends
+	// are still written straight through to the file, so the log survives
+	// process death (kill -9) — only machine death can lose the tail.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the flag spellings always/interval/off.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (always, interval, or off)", s)
+}
+
+// Record types.
+const (
+	// RecordBatch carries one dynamic.Batch committed at Epoch.
+	RecordBatch byte = 1
+	// RecordCheckpoint marks a checkpoint barrier: at Epoch the writer
+	// compacted and rebuilt its state (see Maintainer.Compact). Replay must
+	// perform the same compaction even if the checkpoint *files* for this
+	// epoch were torn by a crash — the marker, not the files, is the commit
+	// point.
+	RecordCheckpoint byte = 2
+)
+
+// Record is one decoded log record.
+type Record struct {
+	Type  byte
+	Epoch uint64
+	// Batch is the update batch of a RecordBatch; zero for markers.
+	Batch dynamic.Batch
+}
+
+// magic is the log file header.
+var magic = [8]byte{'F', 'T', 'W', 'A', 'L', '0', '0', '1'}
+
+// DefaultMaxRecordBytes bounds one record's payload (Options.MaxRecordBytes
+// = 0). A length prefix beyond the bound is treated as tail corruption.
+const DefaultMaxRecordBytes = 64 << 20
+
+// DefaultSyncInterval is the SyncInterval period when Options.SyncInterval
+// is zero.
+const DefaultSyncInterval = time.Second
+
+// LogName is the record log's filename inside Options.Dir.
+const LogName = "churn.wal"
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the log directory, created if missing. Required.
+	Dir string
+	// Sync is the fsync policy for appends.
+	Sync SyncPolicy
+	// SyncInterval is the SyncInterval period (0 = DefaultSyncInterval).
+	SyncInterval time.Duration
+	// MaxRecordBytes bounds a single record payload on both read and write
+	// (0 = DefaultMaxRecordBytes).
+	MaxRecordBytes int
+}
+
+// Log is an open churn log. Appends are serialized internally; the oracle
+// additionally serializes them under its writer mutex.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	offset   int64 // end of the valid prefix == next append position
+	lastSync time.Time
+	closed   bool
+
+	records   []Record // decoded at Open; recovery's replay input
+	tornBytes int64    // trailing bytes truncated at Open
+	appends   uint64
+	syncs     uint64
+}
+
+// Open opens (creating if necessary) the churn log in opts.Dir, scans it,
+// and repairs a torn tail by truncating at the last valid record. The
+// decoded records are available from Records until the first append.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	if opts.MaxRecordBytes <= 0 {
+		opts.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	path := filepath.Join(opts.Dir, LogName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opts: opts, f: f, lastSync: time.Now()}
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan validates the header, decodes the longest valid record prefix, and
+// physically truncates anything after it.
+func (l *Log) scan() error {
+	info, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	size := info.Size()
+	if size < int64(len(magic)) {
+		// Empty, or a crash tore the header write itself: start fresh.
+		if err := l.f.Truncate(0); err != nil {
+			return fmt.Errorf("wal: truncate torn header: %w", err)
+		}
+		if _, err := l.f.WriteAt(magic[:], 0); err != nil {
+			return fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync header: %w", err)
+		}
+		l.offset = int64(len(magic))
+		return nil
+	}
+	var got [8]byte
+	if _, err := l.f.ReadAt(got[:], 0); err != nil {
+		return fmt.Errorf("wal: read header: %w", err)
+	}
+	if got != magic {
+		return fmt.Errorf("wal: %s is not a churn log (bad magic %q)", l.f.Name(), got[:])
+	}
+	if _, err := l.f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	records, valid, err := DecodeRecords(io.LimitReader(l.f, size-int64(len(magic))), l.opts.MaxRecordBytes)
+	if err != nil {
+		return fmt.Errorf("wal: scan: %w", err)
+	}
+	l.records = records
+	l.offset = int64(len(magic)) + valid
+	if l.offset < size {
+		l.tornBytes = size - l.offset
+		if err := l.f.Truncate(l.offset); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync after truncate: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeRecords decodes records from r (positioned after the magic header)
+// until the stream ends or a record fails to validate, and returns the
+// decoded prefix plus its byte length. Corruption is never an error — it
+// just ends the prefix; only a non-EOF read failure is returned. The
+// guarantee FuzzWALRead pins: no input panics, and no valid prefix is ever
+// shortened or skipped.
+func DecodeRecords(r io.Reader, maxRecordBytes int) ([]Record, int64, error) {
+	if maxRecordBytes <= 0 {
+		maxRecordBytes = DefaultMaxRecordBytes
+	}
+	var (
+		records []Record
+		valid   int64
+		head    [8]byte
+		buf     []byte
+	)
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, valid, nil
+			}
+			return records, valid, err
+		}
+		length := binary.LittleEndian.Uint32(head[0:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if length == 0 || int64(length) > int64(maxRecordBytes) {
+			return records, valid, nil
+		}
+		if int(length) > cap(buf) {
+			buf = make([]byte, length)
+		}
+		payload := buf[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, valid, nil
+			}
+			return records, valid, err
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return records, valid, nil
+		}
+		rec, ok := decodePayload(payload)
+		if !ok {
+			return records, valid, nil
+		}
+		records = append(records, rec)
+		valid += int64(len(head)) + int64(length)
+	}
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// updateBytes is the fixed encoding of one dynamic.Update: endpoints as two
+// uint32s plus the weight's float64 bits (4 + 4 + 8).
+const updateBytes = 16
+
+// payloadHeader is the type byte plus the 8-byte epoch.
+const payloadHeader = 9
+
+func decodePayload(p []byte) (Record, bool) {
+	if len(p) < payloadHeader {
+		return Record{}, false
+	}
+	rec := Record{Type: p[0], Epoch: binary.LittleEndian.Uint64(p[1:9])}
+	body := p[payloadHeader:]
+	switch rec.Type {
+	case RecordCheckpoint:
+		if len(body) != 0 {
+			return Record{}, false
+		}
+		return rec, true
+	case RecordBatch:
+		if len(body) < 8 {
+			return Record{}, false
+		}
+		nDel := binary.LittleEndian.Uint32(body[0:4])
+		nIns := binary.LittleEndian.Uint32(body[4:8])
+		need := uint64(8) + (uint64(nDel)+uint64(nIns))*updateBytes
+		if uint64(len(body)) != need {
+			return Record{}, false
+		}
+		off := 8
+		decode := func(n uint32) []dynamic.Update {
+			if n == 0 {
+				return nil
+			}
+			ups := make([]dynamic.Update, n)
+			for i := range ups {
+				ups[i] = dynamic.Update{
+					U: int(binary.LittleEndian.Uint32(body[off:])),
+					V: int(binary.LittleEndian.Uint32(body[off+4:])),
+					W: math.Float64frombits(binary.LittleEndian.Uint64(body[off+8:])),
+				}
+				off += updateBytes
+			}
+			return ups
+		}
+		rec.Batch.Delete = decode(nDel)
+		rec.Batch.Insert = decode(nIns)
+		return rec, true
+	}
+	return Record{}, false
+}
+
+// encodeBatchPayload appends the RecordBatch payload for (epoch, b) to dst.
+func encodeBatchPayload(dst []byte, epoch uint64, b dynamic.Batch) ([]byte, error) {
+	dst = append(dst, RecordBatch)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Delete)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Insert)))
+	for _, ups := range [][]dynamic.Update{b.Delete, b.Insert} {
+		for _, u := range ups {
+			if u.U < 0 || u.V < 0 || u.U > math.MaxUint32 || u.V > math.MaxUint32 {
+				return nil, fmt.Errorf("wal: update endpoint {%d,%d} out of encodable range", u.U, u.V)
+			}
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(u.U))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(u.V))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(u.W))
+		}
+	}
+	return dst, nil
+}
+
+// AppendBatch appends the record committing b at epoch, honoring the fsync
+// policy. When it returns nil under SyncAlways, the batch is durable — the
+// caller may apply it knowing a crash will replay it.
+func (l *Log) AppendBatch(epoch uint64, b dynamic.Batch) error {
+	if len(b.Delete) > math.MaxUint32 || len(b.Insert) > math.MaxUint32 {
+		return fmt.Errorf("wal: batch too large to encode")
+	}
+	payload, err := encodeBatchPayload(make([]byte, 0, payloadHeader+8+(len(b.Delete)+len(b.Insert))*updateBytes), epoch, b)
+	if err != nil {
+		return err
+	}
+	return l.append(payload)
+}
+
+// AppendCheckpointMark appends the compaction-barrier marker for epoch. It
+// always syncs (checkpoints are rare; the marker must never trail the
+// files).
+func (l *Log) AppendCheckpointMark(epoch uint64) error {
+	payload := append(make([]byte, 0, payloadHeader), RecordCheckpoint)
+	payload = binary.LittleEndian.AppendUint64(payload, epoch)
+	if err := l.append(payload); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+func (l *Log) append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: append on closed log")
+	}
+	if err := faultinject.Fire(faultinject.AppendError); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if len(payload) > l.opts.MaxRecordBytes {
+		return fmt.Errorf("wal: record payload %d bytes exceeds the %d limit", len(payload), l.opts.MaxRecordBytes)
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[4:8], crc32.Checksum(payload, crcTable))
+	// One WriteAt per record part at the tracked offset: a crash mid-write
+	// leaves a torn tail the next Open truncates.
+	if _, err := l.f.WriteAt(head[:], l.offset); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.WriteAt(payload, l.offset+int64(len(head))); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.offset += int64(len(head)) + int64(len(payload))
+	l.appends++
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncInterval {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.lastSync = time.Now()
+	l.syncs++
+	return nil
+}
+
+// Close syncs and closes the log file. Checkpoint files are independent and
+// unaffected.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: fsync on close: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: close: %w", closeErr)
+	}
+	return nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.opts.Dir }
+
+// Records returns the records decoded by Open — the recovery replay input.
+// The slice is owned by the log; do not mutate.
+func (l *Log) Records() []Record { return l.records }
+
+// HasState reports whether the directory holds recoverable state: any
+// decoded records or any committed checkpoint. Callers use it to pick
+// between a fresh build (oracle.New) and recovery (oracle.Recover).
+func (l *Log) HasState() bool {
+	if len(l.records) > 0 {
+		return true
+	}
+	metas, err := filepath.Glob(filepath.Join(l.opts.Dir, "ckpt-*.meta"))
+	return err == nil && len(metas) > 0
+}
+
+// TornBytes reports how many trailing bytes Open truncated as a torn tail.
+func (l *Log) TornBytes() int64 { return l.tornBytes }
+
+// Size returns the log's current valid length in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offset
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	Appends uint64 `json:"appends"`
+	Syncs   uint64 `json:"syncs"`
+	Bytes   int64  `json:"bytes"`
+	Policy  string `json:"policy"`
+}
+
+// LogStats returns the append/sync counters and current size.
+func (l *Log) LogStats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, Syncs: l.syncs, Bytes: l.offset, Policy: l.opts.Sync.String()}
+}
