@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ftspanner/internal/obs"
+	"ftspanner/internal/oracle"
+)
+
+// knownPaths is the bounded label set for per-endpoint metrics; anything
+// else (typos, scanners) collapses into "other" so request noise cannot
+// grow the registry without bound.
+var knownPaths = []string{
+	"/query", "/batch", "/stats", "/healthz", "/readyz", "/snapshot",
+	"/metrics", "/debug/trace/churn", "/debug/pprof/",
+}
+
+func normalizePath(p string) string {
+	for _, known := range knownPaths {
+		if p == known || (strings.HasSuffix(known, "/") && strings.HasPrefix(p, known)) {
+			return known
+		}
+	}
+	return "other"
+}
+
+// statusWriter captures the status code and body size of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrumentHTTP wraps the serving mux with the management-plane request
+// accounting: a latency histogram per known endpoint, a lazily minted
+// counter per (path, status code), and — with -log-requests — one logfmt
+// line per request including the epoch that served it.
+func instrumentHTTP(next http.Handler, o *oracle.Oracle, logRequests bool, logw io.Writer) http.Handler {
+	reg := o.Registry()
+	latency := make(map[string]*obs.Histogram, len(knownPaths)+1)
+	for _, p := range append(append([]string(nil), knownPaths...), "other") {
+		latency[p] = reg.Histogram(
+			fmt.Sprintf("ftspanner_http_request_ns{path=%q}", p),
+			"HTTP request serving latency by endpoint")
+	}
+	var logMu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		path := normalizePath(r.URL.Path)
+		latency[path].Observe(elapsed)
+		// Get-or-create keeps the counter set exactly as large as the
+		// (bounded path) x (observed status) surface.
+		reg.Counter(
+			fmt.Sprintf("ftspanner_http_requests_total{path=%q,code=\"%d\"}", path, sw.status),
+			"HTTP requests by endpoint and status code").Inc()
+		if logRequests {
+			logMu.Lock()
+			fmt.Fprintf(logw, "ftserve: request method=%s path=%s status=%d bytes=%d latency_us=%d epoch=%d\n",
+				r.Method, r.URL.Path, sw.status, sw.bytes, elapsed.Microseconds(), o.Epoch())
+			logMu.Unlock()
+		}
+	})
+}

@@ -13,6 +13,9 @@
 //	POST /query                        same, JSON body (see oracle.QueryRequest)
 //	POST /batch                        atomic edge insert/delete batch (churn)
 //	GET  /snapshot                     head epoch's graph + spanner as text
+//	GET  /metrics                      Prometheus-text metrics (internal/obs)
+//	GET  /debug/trace/churn            ring of recent apply-pipeline traces
+//	GET  /debug/pprof/...              net/http/pprof (only with -pprof)
 //
 // Usage:
 //
@@ -21,7 +24,7 @@
 //	        [-wal DIR] [-checkpoint-every 256] [-fsync always|interval|off]
 //	        [-fsync-interval 100ms] [-apply-queue 64] [-query-timeout 10s]
 //	        [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
-//	        [-drain-grace 500ms]
+//	        [-drain-grace 500ms] [-pprof] [-log-requests]
 //
 // With -graph the graph is read from the file; otherwise a G(n, p) sample
 // with expected degree -deg is generated from -seed.
@@ -49,6 +52,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -118,6 +122,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fsync      = fs.String("fsync", "always", "churn-log fsync policy: always, interval, or off")
 		fsyncEvery = fs.Duration("fsync-interval", 100*time.Millisecond, "max time between fsyncs under -fsync interval")
 		applyQueue = fs.Int("apply-queue", 64, "max in-flight /batch applies before shedding with 429 (0 = unbounded)")
+
+		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+		logRequests = fs.Bool("log-requests", false, "log one line per request: method, path, status, latency, epoch served")
 
 		queryTimeout = fs.Duration("query-timeout", 10*time.Second, "per-/query serving deadline (0 = unbounded)")
 		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
@@ -190,10 +197,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	var draining atomic.Bool
-	handler.Store(oracle.NewHTTPHandlerOpts(o, oracle.HandlerOptions{
+	api := oracle.NewHTTPHandlerOpts(o, oracle.HandlerOptions{
 		QueryTimeout: *queryTimeout,
 		Ready:        func() bool { return !draining.Load() },
-	}))
+	})
+	root := http.NewServeMux()
+	root.Handle("/", api)
+	if *pprofOn {
+		// Mount explicitly rather than importing for DefaultServeMux side
+		// effects: the profiler is opt-in and never on the default mux.
+		root.HandleFunc("/debug/pprof/", httppprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
+	handler.Store(instrumentHTTP(root, o, *logRequests, stdout))
 
 	select {
 	case err := <-errc:

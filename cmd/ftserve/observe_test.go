@@ -1,0 +1,138 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func getText(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestObservabilityEndpoints is the in-process mirror of the CI smoke
+// job's /metrics gates: after a query/batch sequence, the query-latency,
+// apply-stage, and WAL-fsync series must all be present and non-empty.
+func TestObservabilityEndpoints(t *testing.T) {
+	base, _, shutdown := startServer(t,
+		"-n", "64", "-deg", "6", "-seed", "3", "-k", "2", "-f", "1",
+		"-wal", filepath.Join(t.TempDir(), "wal"))
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	for i := 0; i < 2; i++ { // miss then hit
+		if code, body := getText(t, base+"/query?u=0&v=9"); code != 200 {
+			t.Fatalf("query = %d: %s", code, body)
+		}
+	}
+	postBatch(t, base, []byte(`{"insert":[{"u":0,"v":63}]}`))
+
+	code, metrics := getText(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		`ftspanner_oracle_query_ns_count{result="hit"} 1`,
+		`ftspanner_oracle_query_ns_count{result="miss"} 1`,
+		`ftspanner_apply_stage_ns_count{stage="repair"} 1`,
+		`ftspanner_apply_stage_ns_count{stage="wal_append"} 1`,
+		`ftspanner_wal_fsync_ns_count`,
+		`ftspanner_wal_checkpoint_ns_count 1`,
+		`ftspanner_http_requests_total{path="/query",code="200"} 2`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// The fsync series must be non-empty under -fsync always (the default).
+	if strings.Contains(metrics, "ftspanner_wal_fsync_ns_count 0\n") {
+		t.Fatalf("WAL fsync series empty despite fsync-always:\n%s", metrics)
+	}
+
+	code, trace := getText(t, base+"/debug/trace/churn")
+	if code != 200 {
+		t.Fatalf("GET /debug/trace/churn = %d", code)
+	}
+	for _, want := range []string{`"traces":[`, `"epoch":2`, `"wal_append_ns":`} {
+		if !strings.Contains(trace, want) {
+			t.Fatalf("/debug/trace/churn missing %q:\n%s", want, trace)
+		}
+	}
+
+	// pprof stays off without the flag.
+	if code, _ := getText(t, base+"/debug/pprof/cmdline"); code != 404 {
+		t.Fatalf("GET /debug/pprof/cmdline without -pprof = %d, want 404", code)
+	}
+}
+
+func TestPprofFlagMountsProfiler(t *testing.T) {
+	base, _, shutdown := startServer(t, "-n", "32", "-deg", "4", "-pprof")
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if code, body := getText(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("GET /debug/pprof/cmdline with -pprof = %d (body %d bytes), want 200 and non-empty", code, len(body))
+	}
+	// The index page lists the standard profiles.
+	if code, body := getText(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("GET /debug/pprof/ = %d, want the profile index", code)
+	}
+}
+
+func TestRequestLogLinePerRequest(t *testing.T) {
+	base, out, shutdown := startServer(t, "-n", "32", "-deg", "4", "-log-requests")
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if code, _ := getText(t, base+"/query?u=0&v=5"); code != 200 {
+		t.Fatalf("query = %d", code)
+	}
+	if code, _ := getText(t, base+"/nonexistent"); code != 404 {
+		t.Fatalf("GET /nonexistent = %d, want 404", code)
+	}
+	log := out.String()
+	if !strings.Contains(log, "request method=GET path=/query?u=0&v=5 status=200") &&
+		!strings.Contains(log, "request method=GET path=/query status=200") {
+		t.Fatalf("missing /query access-log line in:\n%s", log)
+	}
+	if !strings.Contains(log, "epoch=1") {
+		t.Fatalf("access log missing the served epoch in:\n%s", log)
+	}
+	if !strings.Contains(log, "path=/nonexistent status=404") {
+		t.Fatalf("missing 404 access-log line in:\n%s", log)
+	}
+}
+
+func TestNoRequestLogByDefault(t *testing.T) {
+	base, out, shutdown := startServer(t, "-n", "32", "-deg", "4")
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if code, _ := getText(t, base+"/query?u=0&v=5"); code != 200 {
+		t.Fatalf("query = %d", code)
+	}
+	if strings.Contains(out.String(), "request method=") {
+		t.Fatalf("access log emitted without -log-requests:\n%s", out.String())
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ftspanner/internal/obs"
+)
+
+// TestHistogramMatchesSortedSlicePercentiles pins the contract behind
+// replacing the bench percentile code with the shared obs histogram: for
+// every quantile the serve, serve_churn, and E12 series report, the
+// histogram answer must match the old sorted-slice index convention
+// (rank = floor(q*len)) within the histogram's documented relative
+// resolution. A regression here silently shifts every published latency
+// series, so the tolerance is asserted, not eyeballed.
+func TestHistogramMatchesSortedSlicePercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	dists := map[string]func() int64{
+		// Lognormal-ish service latencies: the bulk at ~5us, a heavy tail.
+		"latency": func() int64 {
+			v := math.Exp(rng.NormFloat64()*1.2 + 8.5)
+			return int64(v)
+		},
+		// Stretch ratios in fixed point, as runE12 records them: 1.0..3.0
+		// scaled by 1e6.
+		"stretch": func() int64 {
+			return int64((1 + 2*rng.Float64()) * 1e6)
+		},
+		// Small integers exercise the exact (sub-bucket) range.
+		"small": func() int64 { return int64(rng.Intn(30)) },
+	}
+	for name, draw := range dists {
+		hist := obs.NewHistogram()
+		samples := make([]int64, 50000)
+		for i := range samples {
+			samples[i] = draw()
+			hist.Record(samples[i])
+		}
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+		snap := hist.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			idx := int(q * float64(len(samples)))
+			if idx >= len(samples) {
+				idx = len(samples) - 1
+			}
+			want := samples[idx]
+			got := snap.Quantile(q)
+			// The bucket upper bound can sit at most Resolution above the
+			// exact order statistic (+1 for integer rounding), never below
+			// a lower-ranked sample.
+			lo := want
+			hi := int64(float64(want)*(1+obs.Resolution)) + 1
+			if got < lo || got > hi {
+				t.Errorf("%s q=%v: histogram=%d, sorted[%d]=%d, want within [%d, %d]",
+					name, q, got, idx, want, lo, hi)
+			}
+		}
+		if snap.Max != samples[len(samples)-1] {
+			t.Errorf("%s: snapshot max = %d, sorted max = %d", name, snap.Max, samples[len(samples)-1])
+		}
+		if snap.Min != samples[0] {
+			t.Errorf("%s: snapshot min = %d, sorted min = %d", name, snap.Min, samples[0])
+		}
+	}
+}

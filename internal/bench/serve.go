@@ -3,12 +3,12 @@ package bench
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ftspanner/internal/gen"
+	"ftspanner/internal/obs"
 	"ftspanner/internal/oracle"
 	"ftspanner/internal/verify"
 )
@@ -81,7 +81,7 @@ func runServePoint(cfg Config, workload string, n, queries, clients, churnBatche
 	// by count rather than wall time so runs are comparable across machines.
 	var issued atomic.Int64
 	var clientsDone atomic.Bool
-	latencies := make([][]int64, clients)
+	hist := obs.NewHistogram() // shared, striped: clients record concurrently
 	errs := make([]error, clients)
 	var wg, cwg sync.WaitGroup
 	start := time.Now()
@@ -91,7 +91,6 @@ func runServePoint(cfg Config, workload string, n, queries, clients, churnBatche
 		go func(c int) {
 			defer wg.Done()
 			defer cwg.Done()
-			lat := make([]int64, 0, queries/clients+1)
 			for i := c; i < len(pairs); i += clients {
 				p := pairs[i]
 				var opts oracle.QueryOptions
@@ -103,14 +102,13 @@ func runServePoint(cfg Config, workload string, n, queries, clients, churnBatche
 				}
 				t0 := time.Now()
 				_, err := o.Query(p.U, p.V, opts)
-				lat = append(lat, time.Since(t0).Nanoseconds())
+				hist.Observe(time.Since(t0))
 				issued.Add(1) // count failures too, so the churn goroutine can't stall
 				if err != nil {
 					errs[c] = err
 					return
 				}
 			}
-			latencies[c] = lat
 		}(c)
 	}
 	go func() {
@@ -144,14 +142,13 @@ func runServePoint(cfg Config, workload string, n, queries, clients, churnBatche
 		}
 	}
 
-	var all []int64
-	for _, lat := range latencies {
-		all = append(all, lat...)
+	snap := hist.Snapshot()
+	if snap.Count == 0 {
+		return pt, fmt.Errorf("bench: serve %s recorded no queries", workload)
 	}
-	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-	pt.QPS = float64(len(all)) / elapsed.Seconds()
-	pt.P50Ns = float64(all[len(all)/2])
-	pt.P99Ns = float64(all[len(all)*99/100])
+	pt.QPS = float64(snap.Count) / elapsed.Seconds()
+	pt.P50Ns = float64(snap.Quantile(0.5))
+	pt.P99Ns = float64(snap.Quantile(0.99))
 	st := o.Stats()
 	pt.CacheHitRate = st.HitRate
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"ftspanner/internal/dynamic"
 	"ftspanner/internal/gen"
 	"ftspanner/internal/graph"
+	"ftspanner/internal/obs"
 	"ftspanner/internal/oracle"
 )
 
@@ -77,7 +77,7 @@ type serveChurnWorkload struct {
 	cap    float64
 }
 
-func (w *serveChurnWorkload) run(deadline time.Time, lat *[]int64) error {
+func (w *serveChurnWorkload) run(deadline time.Time, hist *obs.Histogram) error {
 	for i := 0; ; i++ {
 		if i%64 == 0 && time.Now().After(deadline) {
 			return nil
@@ -95,7 +95,7 @@ func (w *serveChurnWorkload) run(deadline time.Time, lat *[]int64) error {
 		}
 		t0 := time.Now()
 		_, err := w.o.Query(p.U, p.V, opts)
-		*lat = append(*lat, time.Since(t0).Nanoseconds())
+		hist.Observe(time.Since(t0))
 		if err != nil {
 			return err
 		}
@@ -103,10 +103,12 @@ func (w *serveChurnWorkload) run(deadline time.Time, lat *[]int64) error {
 }
 
 // runServeChurnPhase runs the workload on `clients` goroutines for one
-// window and returns the merged sorted latency list.
-func runServeChurnPhase(w *serveChurnWorkload, clients int, window time.Duration) ([]int64, error) {
+// window and returns the latency profile. The clients share one striped
+// histogram instead of per-client slices, so the phase allocates O(1)
+// regardless of how many queries the window fits.
+func runServeChurnPhase(w *serveChurnWorkload, clients int, window time.Duration) (*obs.Snapshot, error) {
 	runtime.GC() // both phases start from a clean heap
-	lats := make([][]int64, clients)
+	hist := obs.NewHistogram()
 	errs := make([]error, clients)
 	deadline := time.Now().Add(window)
 	var wg sync.WaitGroup
@@ -114,9 +116,7 @@ func runServeChurnPhase(w *serveChurnWorkload, clients int, window time.Duration
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			lat := make([]int64, 0, 1<<18)
-			errs[c] = w.run(deadline, &lat)
-			lats[c] = lat
+			errs[c] = w.run(deadline, hist)
 		}(c)
 	}
 	wg.Wait()
@@ -125,23 +125,11 @@ func runServeChurnPhase(w *serveChurnWorkload, clients int, window time.Duration
 			return nil, err
 		}
 	}
-	var all []int64
-	for _, lat := range lats {
-		all = append(all, lat...)
-	}
-	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-	if len(all) == 0 {
+	snap := hist.Snapshot()
+	if snap.Count == 0 {
 		return nil, fmt.Errorf("bench: serve_churn phase recorded no queries")
 	}
-	return all, nil
-}
-
-func pctNs(sorted []int64, num, den int) float64 {
-	idx := len(sorted) * num / den
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return float64(sorted[idx])
+	return snap, nil
 }
 
 // serveChurnBatches returns the alternating insert/delete batches: a fixed
@@ -204,9 +192,9 @@ func runServeChurnPoint(cfg Config, side, retain int, window time.Duration) (Ser
 	if err != nil {
 		return pt, err
 	}
-	pt.QuietQueries = len(quiet)
-	pt.QuietP50Ns = pctNs(quiet, 1, 2)
-	pt.QuietP999Ns = pctNs(quiet, 999, 1000)
+	pt.QuietQueries = int(quiet.Count)
+	pt.QuietP50Ns = float64(quiet.Quantile(0.5))
+	pt.QuietP999Ns = float64(quiet.Quantile(0.999))
 
 	// Phase 2: identical workload under sustained concurrent churn.
 	insertB, deleteB := serveChurnBatches(g, side)
@@ -255,13 +243,13 @@ func runServeChurnPoint(cfg Config, side, retain int, window time.Duration) (Ser
 	if err != nil {
 		return pt, err
 	}
-	pt.ChurnQueries = len(churn)
+	pt.ChurnQueries = int(churn.Count)
 	pt.ChurnBatches = batches.Load()
 	if pt.ChurnBatches == 0 {
 		return pt, fmt.Errorf("bench: serve_churn n=%d: no batch completed within the churn window", n)
 	}
-	pt.ChurnP50Ns = pctNs(churn, 1, 2)
-	pt.ChurnP999Ns = pctNs(churn, 999, 1000)
+	pt.ChurnP50Ns = float64(churn.Quantile(0.5))
+	pt.ChurnP999Ns = float64(churn.Quantile(0.999))
 	pt.P999ChurnOverQuiet = pt.ChurnP999Ns / pt.QuietP999Ns
 
 	// Sharded invalidation, measured deterministically: warm the probes

@@ -114,9 +114,17 @@ func TestDynamicBuildParallelismRebuildsBatched(t *testing.T) {
 	if stPar.BatchedBuilds != stPar.FullBuilds {
 		t.Fatalf("every full build must be batched at BuildParallelism=4: %+v", stPar)
 	}
-	// The engines are byte-identical, so every effort counter must agree.
+	// The engines are byte-identical, so every effort counter must agree —
+	// except the ones that describe the engine itself: the worker count,
+	// the batched-build tally, and the batched engine's round/conflict
+	// accounting (sequential builds have no speculation rounds).
 	stSeq.BuildParallelism, stPar.BuildParallelism = 0, 0
 	stSeq.BatchedBuilds, stPar.BatchedBuilds = 0, 0
+	if stPar.BuildRounds == 0 || stPar.BuildRedecided < 0 {
+		t.Fatalf("batched rebuilds reported no speculation rounds: %+v", stPar)
+	}
+	stSeq.BuildRounds, stPar.BuildRounds = 0, 0
+	stSeq.BuildRedecided, stPar.BuildRedecided = 0, 0
 	if stSeq != stPar {
 		t.Fatalf("maintenance trajectories diverged:\nseq %+v\npar %+v", stSeq, stPar)
 	}

@@ -107,6 +107,11 @@ type Stats struct {
 	// (all of them when BuildParallelism > 1, none otherwise).
 	BuildParallelism int
 	BatchedBuilds    int
+	// BuildRounds and BuildRedecided total the speculate-then-commit rounds
+	// and conflict re-decisions of the batched full builds — the round and
+	// conflict accounting of core.ModifiedGreedyBatched surfaced through
+	// the maintainer (both stay 0 when builds run sequentially).
+	BuildRounds, BuildRedecided int
 	// Compactions counts Compact calls: checkpoint barriers that renumbered
 	// the edge-ID space and rebuilt the spanner (each also counts one
 	// FullBuild).
@@ -245,11 +250,12 @@ func (m *Maintainer) Stats() Stats { return m.stats }
 func (m *Maintainer) rebuild() error {
 	var h *graph.Graph
 	var decisions []core.EdgeDecision
+	var bstats core.Stats
 	var err error
 	if m.workers > 1 {
-		h, decisions, _, err = core.ModifiedGreedyBatchedTraced(m.ss, m.g, m.cfg.K, m.cfg.F, m.cfg.Mode)
+		h, decisions, bstats, err = core.ModifiedGreedyBatchedTraced(m.ss, m.g, m.cfg.K, m.cfg.F, m.cfg.Mode)
 	} else {
-		h, decisions, _, err = core.ModifiedGreedyTraced(m.s, m.g, m.cfg.K, m.cfg.F, m.cfg.Mode)
+		h, decisions, bstats, err = core.ModifiedGreedyTraced(m.s, m.g, m.cfg.K, m.cfg.F, m.cfg.Mode)
 	}
 	if err != nil {
 		return fmt.Errorf("dynamic: build: %w", err)
@@ -257,6 +263,8 @@ func (m *Maintainer) rebuild() error {
 	if m.workers > 1 {
 		m.stats.BatchedBuilds++
 	}
+	m.stats.BuildRounds += bstats.Rounds
+	m.stats.BuildRedecided += bstats.Redecided
 	m.h = h
 	m.state = make([]edgeState, m.g.EdgeIDLimit())
 	m.users = make([][]int, h.EdgeIDLimit())

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// The query hot path is ~80ns; time.Now costs ~95ns on a virtualized
+// clock because it reads both the wall and the monotonic clock. Latency
+// metrics only ever need the monotonic half, so the hot paths stamp with
+// the runtime's raw monotonic clock instead. runtime.nanotime is on the
+// linkname compatibility list (half the observability ecosystem pulls
+// it), so this is stable across toolchains.
+//
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64
+
+// Now returns an opaque monotonic timestamp in nanoseconds, for
+// SinceNanos / Histogram.SinceStamp. It is NOT a wall-clock time; only
+// differences between two Now stamps are meaningful.
+func Now() int64 { return nanotime() }
+
+// SinceNanos returns the nanoseconds elapsed since an obs.Now stamp.
+func SinceNanos(start int64) int64 { return nanotime() - start }

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMonotonicClock pins the linkname'd runtime clock: stamps advance
+// with real time, differences are plausible nanoseconds, and stamping is
+// allocation-free (it sits on the query hot path).
+func TestMonotonicClock(t *testing.T) {
+	a := Now()
+	time.Sleep(10 * time.Millisecond)
+	d := SinceNanos(a)
+	if d < 5e6 || d > 5e9 {
+		t.Fatalf("SinceNanos over a 10ms sleep = %dns, want a sane duration", d)
+	}
+	h := NewHistogram()
+	start := Now()
+	h.SinceStamp(start)
+	if h.Count() != 1 {
+		t.Fatalf("SinceStamp recorded %d samples, want 1", h.Count())
+	}
+	if s := h.Snapshot(); s.Min < 0 || s.Max > 1e9 {
+		t.Fatalf("SinceStamp recorded %d..%dns, want a small positive duration", s.Min, s.Max)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.SinceStamp(Now())
+	}); allocs != 0 {
+		t.Fatalf("Now+SinceStamp = %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is HDR-style: values are bucketed by power-of-2 magnitude
+// (the exponent of the highest set bit) with each magnitude split into
+// 2^subBucketBits linear sub-buckets. Bucket width is therefore at most
+// value/2^subBucketBits, so any recorded value is reproduced by its bucket
+// upper bound within a Resolution relative error. Values below
+// 2^subBucketBits land in exact unit-width buckets.
+const (
+	subBucketBits  = 5
+	subBucketCount = 1 << subBucketBits
+	// bucketCount covers the full non-negative int64 range: the first
+	// subBucketCount unit buckets, then (63-subBucketBits) magnitudes of
+	// subBucketCount linear sub-buckets each.
+	bucketCount = subBucketCount + (63-subBucketBits)*subBucketCount
+)
+
+// Resolution is the worst-case relative error of a histogram quantile
+// caused by bucketing: each bucket spans at most this fraction of its
+// lower bound.
+const Resolution = 1.0 / subBucketCount
+
+// defaultStripes is the per-CPU-ish write fan-out: enough stripes that
+// concurrent recorders rarely contend on the same cache lines, capped so a
+// histogram on a big machine stays small. Power of two for mask selection.
+var defaultStripes = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}()
+
+// stripe is one independently written copy of the bucket array. Stripes
+// are padded apart by their sheer size; within a stripe, concurrent
+// recorders of similar values may share lines, which the random stripe
+// choice makes rare.
+type stripe struct {
+	counts [bucketCount]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64 // math.MaxInt64 when empty
+	max    atomic.Int64 // -1 when empty
+}
+
+// Histogram is a lock-free log-bucketed histogram of non-negative int64
+// samples (negative samples clamp to 0). Record is wait-free and does not
+// allocate; Snapshot merges the stripes into an immutable view for
+// quantile queries. Use NewHistogram to construct one.
+type Histogram struct {
+	stripes []stripe
+	mask    uint64
+}
+
+// NewHistogram returns an empty histogram with the default stripe count
+// (derived from GOMAXPROCS at startup).
+func NewHistogram() *Histogram { return newHistogramStripes(defaultStripes) }
+
+// newHistogramStripes constructs a histogram with an explicit stripe
+// count (rounded up to a power of two); tests use it to exercise
+// multi-stripe merging on single-core machines.
+func newHistogramStripes(n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	h := &Histogram{stripes: make([]stripe, s), mask: uint64(s - 1)}
+	for i := range h.stripes {
+		h.stripes[i].min.Store(math.MaxInt64)
+		h.stripes[i].max.Store(-1)
+	}
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	uv := uint64(v)
+	if uv < subBucketCount {
+		return int(uv)
+	}
+	exp := bits.Len64(uv) - 1 // >= subBucketBits
+	sub := int(uv>>(uint(exp)-subBucketBits)) - subBucketCount
+	return (exp-subBucketBits+1)*subBucketCount + sub
+}
+
+// bucketHigh returns the largest value that maps to bucket i.
+func bucketHigh(i int) int64 {
+	if i < subBucketCount {
+		return int64(i)
+	}
+	major := i/subBucketCount - 1 // 0-based magnitude above the unit range
+	exp := uint(major + subBucketBits)
+	sub := int64(i % subBucketCount)
+	low := int64(1)<<exp + sub<<(exp-subBucketBits)
+	return low + int64(1)<<(exp-subBucketBits) - 1
+}
+
+// bucketLow returns the smallest value that maps to bucket i.
+func bucketLow(i int) int64 {
+	if i < subBucketCount {
+		return int64(i)
+	}
+	major := i/subBucketCount - 1
+	exp := uint(major + subBucketBits)
+	sub := int64(i % subBucketCount)
+	return int64(1)<<exp + sub<<(exp-subBucketBits)
+}
+
+// Record adds one sample. Negative values clamp to 0. Safe for any number
+// of concurrent callers; does not allocate or take locks.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	st := &h.stripes[0]
+	if h.mask != 0 {
+		// rand/v2's global Uint64 is per-thread and allocation-free, so
+		// concurrent recorders scatter across stripes without coordination.
+		st = &h.stripes[rand.Uint64()&h.mask]
+	}
+	st.counts[bucketIndex(v)].Add(1)
+	st.count.Add(1)
+	st.sum.Add(v)
+	for {
+		cur := st.min.Load()
+		if v >= cur || st.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := st.max.Load()
+		if v <= cur || st.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Observe records a duration in nanoseconds.
+func (h *Histogram) Observe(d time.Duration) { h.Record(d.Nanoseconds()) }
+
+// Since records the time elapsed since t0 in nanoseconds.
+func (h *Histogram) Since(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// SinceStamp records the time elapsed since an obs.Now monotonic stamp.
+// This is the cheap form for sub-microsecond paths: one raw monotonic
+// clock read instead of time.Now's wall+monotonic pair.
+func (h *Histogram) SinceStamp(start int64) { h.Record(nanotime() - start) }
+
+// Merge folds all samples recorded in src so far into h. Concurrent
+// recording into either histogram remains safe; samples recorded into src
+// during the merge may or may not be included.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil {
+		return
+	}
+	h.merge(src.Snapshot())
+}
+
+func (h *Histogram) merge(s *Snapshot) {
+	if s.Count == 0 {
+		return
+	}
+	st := &h.stripes[0]
+	for i, c := range s.counts[:] {
+		if c != 0 {
+			st.counts[i].Add(c)
+		}
+	}
+	st.count.Add(s.Count)
+	st.sum.Add(s.Sum)
+	for {
+		cur := st.min.Load()
+		if s.Min >= cur || st.min.CompareAndSwap(cur, s.Min) {
+			break
+		}
+	}
+	for {
+		cur := st.max.Load()
+		if s.Max <= cur || st.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+}
+
+// Snapshot is an immutable merged view of a histogram, safe to query from
+// any goroutine. A snapshot taken while recorders are active is a
+// consistent-enough view for monitoring: each sample is either fully in or
+// fully out except for the instant between a bucket increment and the
+// count increment, which can skew Count by the number of in-flight
+// Record calls.
+type Snapshot struct {
+	Count uint64
+	Sum   int64
+	Min   int64 // 0 when Count == 0
+	Max   int64 // 0 when Count == 0
+	// counts holds the merged per-bucket tallies; quantile queries walk it.
+	counts [bucketCount]uint64
+}
+
+// Snapshot merges the stripes into an immutable view.
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{Min: math.MaxInt64, Max: -1}
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.counts {
+			if c := st.counts[b].Load(); c != 0 {
+				s.counts[b] += c
+			}
+		}
+		s.Count += st.count.Load()
+		s.Sum += st.sum.Load()
+		if m := st.min.Load(); m < s.Min {
+			s.Min = m
+		}
+		if m := st.max.Load(); m > s.Max {
+			s.Max = m
+		}
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound of
+// the bucket holding the sample of rank floor(q*Count), clamped into
+// [Min, Max]. This matches the sorted-slice convention sorted[q*len]
+// within one bucket's width (exactly, for values below 2^subBucketBits).
+// Returns 0 on an empty snapshot.
+func (s *Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i, c := range s.counts[:] {
+		cum += c
+		if cum > rank {
+			v := bucketHigh(i)
+			if v > s.Max {
+				v = s.Max
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the recorded samples (exact: it is
+// computed from the true sum, not from buckets), or 0 when empty.
+func (s *Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile is shorthand for h.Snapshot().Quantile(q); prefer taking one
+// Snapshot when querying several quantiles.
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// Count returns the total number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.stripes {
+		n += h.stripes[i].count.Load()
+	}
+	return n
+}

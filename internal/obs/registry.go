@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named instruments and renders them in the Prometheus
+// text exposition format (version 0.0.4). Metric names carry their
+// constant labels inline, e.g.
+//
+//	ftspanner_oracle_query_ns{result="hit"}
+//
+// so one histogram family can have several labelled members. Registration
+// is get-or-create: asking for an existing name returns the same
+// instrument (and panics if the kind differs), which lets request paths
+// lazily mint per-label counters without pre-declaring the label space.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*metric
+	order  []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		// Log-bucketed histograms are exposed as precomputed quantiles,
+		// which Prometheus calls a summary.
+		return "summary"
+	}
+}
+
+type metric struct {
+	name   string // full name including {labels}
+	base   string // family name without labels
+	labels string // `k="v",k2="v2"` or ""
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// histQuantiles are the quantile labels emitted for every histogram.
+var histQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// splitName separates `base{labels}` into its parts and validates the
+// base against the Prometheus metric-name charset.
+func splitName(name string) (base, labels string, ok bool) {
+	base = name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			return "", "", false
+		}
+		base, labels = name[:i], name[i+1:len(name)-1]
+		if labels == "" {
+			return "", "", false
+		}
+	}
+	if base == "" {
+		return "", "", false
+	}
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return "", "", false
+		}
+	}
+	return base, labels, true
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	base, labels, ok := splitName(name)
+	if !ok {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, exists := r.byName[name]; exists {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		if kind == kindCounterFunc || kind == kindGaugeFunc {
+			panic(fmt.Sprintf("obs: func metric %q registered twice", name))
+		}
+		return m
+	}
+	m := &metric{name: name, base: base, labels: labels, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = NewHistogram()
+	}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Panics if name is registered as a different kind.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).counter
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).gauge
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, kindHistogram).hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for surfacing counters a subsystem already maintains (atomics,
+// snapshot stats) without double counting. fn must be safe to call from
+// any goroutine. Panics if name is already registered.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounterFunc).fn = fn
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+// Panics if name is already registered.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc).fn = fn
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text format, grouped by family in first-registration order, members
+// sorted by label within a family. Values are read at call time; the
+// registry lock is not held while histograms are snapshotted.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+
+	families := make(map[string][]*metric)
+	var baseOrder []string
+	for _, m := range metrics {
+		if _, seen := families[m.base]; !seen {
+			baseOrder = append(baseOrder, m.base)
+		}
+		families[m.base] = append(families[m.base], m)
+	}
+
+	var b strings.Builder
+	for _, base := range baseOrder {
+		fam := families[base]
+		sort.SliceStable(fam, func(i, j int) bool { return fam[i].labels < fam[j].labels })
+		if help := fam[0].help; help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", base, strings.ReplaceAll(help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, fam[0].kind.promType())
+		for _, m := range fam {
+			writeMetric(&b, m)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeMetric(b *strings.Builder, m *metric) {
+	switch m.kind {
+	case kindCounter:
+		fmt.Fprintf(b, "%s %d\n", m.name, m.counter.Load())
+	case kindGauge:
+		fmt.Fprintf(b, "%s %s\n", m.name, formatFloat(m.gauge.Load()))
+	case kindCounterFunc, kindGaugeFunc:
+		fmt.Fprintf(b, "%s %s\n", m.name, formatFloat(m.fn()))
+	case kindHistogram:
+		s := m.hist.Snapshot()
+		for _, q := range histQuantiles {
+			fmt.Fprintf(b, "%s%s %d\n", m.base, joinLabels(m.labels, q), s.Quantile(q))
+		}
+		suffix := ""
+		if m.labels != "" {
+			suffix = "{" + m.labels + "}"
+		}
+		fmt.Fprintf(b, "%s_sum%s %d\n", m.base, suffix, s.Sum)
+		fmt.Fprintf(b, "%s_count%s %d\n", m.base, suffix, s.Count)
+	}
+}
+
+// joinLabels merges a metric's constant labels with the quantile label.
+func joinLabels(labels string, q float64) string {
+	ql := `quantile="` + strconv.FormatFloat(q, 'g', -1, 64) + `"`
+	if labels == "" {
+		return "{" + ql + "}"
+	}
+	return "{" + labels + "," + ql + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "total requests").Add(7)
+	r.Gauge("test_temperature", "current temperature").Set(36.5)
+	h := r.Histogram(`test_latency_ns{result="hit"}`, "latency by result")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	r.Histogram(`test_latency_ns{result="miss"}`, "latency by result").Record(10)
+	r.CounterFunc("test_epoch_total", "current epoch", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total total requests",
+		"# TYPE test_requests_total counter",
+		"test_requests_total 7",
+		"# TYPE test_temperature gauge",
+		"test_temperature 36.5",
+		"# TYPE test_latency_ns summary",
+		`test_latency_ns{result="hit",quantile="0.5"} 51`,
+		`test_latency_ns{result="hit",quantile="0.99"} 100`,
+		`test_latency_ns_sum{result="hit"} 5050`,
+		`test_latency_ns_count{result="hit"} 100`,
+		`test_latency_ns{result="miss",quantile="0.5"} 10`,
+		`test_latency_ns_count{result="miss"} 1`,
+		"# TYPE test_epoch_total counter",
+		"test_epoch_total 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even with two labelled members.
+	if n := strings.Count(out, "# TYPE test_latency_ns summary"); n != 1 {
+		t.Fatalf("TYPE line for the family appears %d times, want 1:\n%s", n, out)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("test_total", "")
+	c2 := r.Counter("test_total", "")
+	if c1 != c2 {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	h1 := r.Histogram(`test_ns{path="/query"}`, "")
+	h2 := r.Histogram(`test_ns{path="/query"}`, "")
+	if h1 != h2 {
+		t.Fatal("re-registering a histogram returned a different instance")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "")
+}
+
+func TestRegistryDuplicateFuncPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("test_g", "", func() float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a func metric twice did not panic")
+		}
+	}()
+	r.GaugeFunc("test_g", "", func() float64 { return 2 })
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "9leading_digit", "has space", `unclosed{label="v"`, "empty_labels{}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("invalid name %q did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name, "")
+		}()
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "help").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q, want the 0.0.4 text exposition format", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1") {
+		t.Fatalf("body missing the counter:\n%s", rec.Body.String())
+	}
+}

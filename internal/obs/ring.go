@@ -1,0 +1,56 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity ring buffer of recent trace records: appends
+// overwrite the oldest entry once full. It holds a short mutex per
+// operation — rings sit on the write pipeline (one append per churn
+// batch), never on the query hot path.
+type Ring[T any] struct {
+	mu  sync.Mutex
+	buf []T
+	n   uint64 // total ever appended
+}
+
+// NewRing returns a ring keeping the last size entries (min 1).
+func NewRing[T any](size int) *Ring[T] {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring[T]{buf: make([]T, size)}
+}
+
+// Append adds v, evicting the oldest entry when full.
+func (r *Ring[T]) Append(v T) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = v
+	r.n++
+	r.mu.Unlock()
+}
+
+// Len returns the number of entries currently held.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < uint64(len(r.buf)) {
+		return int(r.n)
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns the held entries, oldest first.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := uint64(len(r.buf))
+	if r.n <= size {
+		out := make([]T, r.n)
+		copy(out, r.buf[:r.n])
+		return out
+	}
+	out := make([]T, size)
+	start := r.n % size
+	copy(out, r.buf[start:])
+	copy(out[size-start:], r.buf[:start])
+	return out
+}

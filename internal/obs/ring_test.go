@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingFillAndWrap(t *testing.T) {
+	r := NewRing[int](4)
+	if got := r.Snapshot(); len(got) != 0 || r.Len() != 0 {
+		t.Fatalf("empty ring snapshot = %v (len %d), want empty", got, r.Len())
+	}
+	r.Append(1)
+	r.Append(2)
+	if got := r.Snapshot(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("partial ring = %v, want [1 2]", got)
+	}
+	for v := 3; v <= 10; v++ {
+		r.Append(v)
+	}
+	got := r.Snapshot()
+	want := []int{7, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("wrapped ring = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wrapped ring = %v, want %v (oldest first)", got, want)
+		}
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", r.Len())
+	}
+}
+
+func TestRingSnapshotIsACopy(t *testing.T) {
+	r := NewRing[int](2)
+	r.Append(1)
+	snap := r.Snapshot()
+	r.Append(2)
+	r.Append(3)
+	if snap[0] != 1 {
+		t.Fatal("snapshot mutated by later appends")
+	}
+}
+
+func TestRingConcurrentAppend(t *testing.T) {
+	r := NewRing[int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Append(i)
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Fatalf("Len() = %d after 4000 appends into size 8, want 8", r.Len())
+	}
+}

@@ -99,6 +99,14 @@ type SnapshotResponse struct {
 	Spanner string `json:"spanner"`
 }
 
+// ChurnTraceResponse is the GET /debug/trace/churn reply: the ring of
+// recent apply-pipeline traces, oldest first, plus the head epoch at dump
+// time (traces may trail it — the ring is bounded).
+type ChurnTraceResponse struct {
+	Epoch  uint64       `json:"epoch"`
+	Traces []ChurnTrace `json:"traces"`
+}
+
 // HandlerOptions tunes NewHTTPHandlerOpts beyond the oracle itself.
 type HandlerOptions struct {
 	// QueryTimeout bounds one /query's serving time: past it the client
@@ -147,6 +155,14 @@ func NewHTTPHandlerOpts(o *Oracle, opts HandlerOptions) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, o.Stats())
+	})
+	// Management plane: Prometheus-text metrics and the churn-trace ring.
+	mux.Handle("/metrics", o.Registry().Handler())
+	mux.HandleFunc("/debug/trace/churn", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, ChurnTraceResponse{Epoch: o.Epoch(), Traces: o.ChurnTraces()})
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if !allowMethod(w, r, http.MethodGet) {

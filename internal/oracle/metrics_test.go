@@ -1,0 +1,256 @@
+package oracle
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ftspanner/internal/dynamic"
+	"ftspanner/internal/wal"
+)
+
+type textResponse struct {
+	status      int
+	contentType string
+	body        string
+}
+
+func httpGet(t *testing.T, url string) textResponse {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return textResponse{status: resp.StatusCode, contentType: resp.Header.Get("Content-Type"), body: string(body)}
+}
+
+// metricValue extracts one sample line (exact name incl. labels) from a
+// Prometheus-text dump.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(name) + " (.+)$")
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %q not found in:\n%s", name, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %q value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+func scrape(t *testing.T, o *Oracle) string {
+	t.Helper()
+	var b strings.Builder
+	if err := o.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestQueryLatencyMetricsSplitByResult(t *testing.T) {
+	g := mustGNP(t, 21, 60, 8)
+	o, err := New(g, Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// miss, then hit on the same key, then a capped (MaxDistance) compute.
+	if _, err := o.Query(1, 40, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Query(1, 40, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Query(2, 41, QueryOptions{MaxDistance: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// errors: out-of-range pair and an over-budget fault set.
+	o.Query(-1, 5, QueryOptions{})
+	o.Query(0, 1, QueryOptions{FaultVertices: []int{1, 2, 3, 4, 5}})
+
+	text := scrape(t, o)
+	if got := metricValue(t, text, `ftspanner_oracle_query_ns_count{result="miss"}`); got != 1 {
+		t.Fatalf("miss count = %v, want 1", got)
+	}
+	if got := metricValue(t, text, `ftspanner_oracle_query_ns_count{result="hit"}`); got != 1 {
+		t.Fatalf("hit count = %v, want 1", got)
+	}
+	if got := metricValue(t, text, `ftspanner_oracle_query_ns_count{result="capped"}`); got != 1 {
+		t.Fatalf("capped count = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "ftspanner_oracle_query_errors_total"); got != 2 {
+		t.Fatalf("query errors = %v, want 2", got)
+	}
+	if got := metricValue(t, text, "ftspanner_oracle_queries_total"); got != 3 {
+		t.Fatalf("queries total = %v, want 3 (errors are rejected before counting)", got)
+	}
+	// Latency sums are real (a recorded sample is at least a few ns).
+	if got := metricValue(t, text, `ftspanner_oracle_query_ns_sum{result="miss"}`); got <= 0 {
+		t.Fatalf("miss latency sum = %v, want > 0", got)
+	}
+}
+
+func TestApplyStageMetricsAndChurnTraces(t *testing.T) {
+	w, err := wal.Open(wal.Options{Dir: filepath.Join(t.TempDir(), "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGNP(t, 22, 80, 8)
+	o, err := New(g, Config{K: 2, F: 1, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	batches := []dynamic.Batch{
+		{Insert: []dynamic.Update{{U: 0, V: 70}}},
+		{Insert: []dynamic.Update{{U: 1, V: 71}}, Delete: []dynamic.Update{{U: 0, V: 70}}},
+	}
+	for _, b := range batches {
+		if err := o.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	text := scrape(t, o)
+	for _, stage := range []string{"validate", "wal_append", "repair", "csr", "publish"} {
+		name := `ftspanner_apply_stage_ns_count{stage="` + stage + `"}`
+		if got := metricValue(t, text, name); got != 2 {
+			t.Fatalf("%s = %v, want 2", name, got)
+		}
+	}
+	if got := metricValue(t, text, "ftspanner_apply_ns_count"); got != 2 {
+		t.Fatalf("apply count = %v, want 2", got)
+	}
+	if got := metricValue(t, text, "ftspanner_wal_append_ns_count"); got < 2 {
+		t.Fatalf("wal append count = %v, want >= 2", got)
+	}
+	if got := metricValue(t, text, "ftspanner_wal_fsync_ns_count"); got < 2 {
+		t.Fatalf("wal fsync count = %v, want >= 2 (fsync-always)", got)
+	}
+	if got := metricValue(t, text, "ftspanner_wal_appended_bytes_total"); got <= 0 {
+		t.Fatalf("wal appended bytes = %v, want > 0", got)
+	}
+	if got := metricValue(t, text, "ftspanner_wal_checkpoint_ns_count"); got != 1 {
+		t.Fatalf("checkpoint count = %v, want 1 (the initial checkpoint)", got)
+	}
+	if got := metricValue(t, text, "ftspanner_wal_checkpoint_bytes_total"); got <= 0 {
+		t.Fatalf("checkpoint bytes = %v, want > 0", got)
+	}
+	if got := metricValue(t, text, "ftspanner_epoch"); got != 3 {
+		t.Fatalf("epoch gauge = %v, want 3", got)
+	}
+
+	traces := o.ChurnTraces()
+	if len(traces) != 2 {
+		t.Fatalf("ChurnTraces() returned %d traces, want 2", len(traces))
+	}
+	for i, tr := range traces {
+		wantEpoch := uint64(2 + i)
+		if tr.Epoch != wantEpoch {
+			t.Fatalf("trace %d epoch = %d, want %d (oldest first)", i, tr.Epoch, wantEpoch)
+		}
+		if tr.TotalNs <= 0 {
+			t.Fatalf("trace %d TotalNs = %d, want > 0", i, tr.TotalNs)
+		}
+		stageSum := tr.ValidateNs + tr.WalAppendNs + tr.RepairNs + tr.CSRNs + tr.PublishNs
+		if stageSum <= 0 || stageSum > tr.TotalNs {
+			t.Fatalf("trace %d stage durations sum to %d, want in (0, TotalNs=%d]", i, stageSum, tr.TotalNs)
+		}
+		if tr.Time.IsZero() {
+			t.Fatalf("trace %d has a zero timestamp", i)
+		}
+	}
+	if traces[0].Inserts != 1 || traces[0].Deletes != 0 {
+		t.Fatalf("trace 0 batch shape = %d/%d, want 1 insert / 0 deletes", traces[0].Inserts, traces[0].Deletes)
+	}
+	if traces[1].Inserts != 1 || traces[1].Deletes != 1 {
+		t.Fatalf("trace 1 batch shape = %d/%d, want 1 insert / 1 delete", traces[1].Inserts, traces[1].Deletes)
+	}
+}
+
+func TestChurnTraceRingBounded(t *testing.T) {
+	g := mustGNP(t, 23, 40, 6)
+	o, err := New(g, Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < churnTraceRing+10; i++ {
+		u, v := i%40, (i+17)%40
+		if u == v {
+			continue
+		}
+		b := dynamic.Batch{Insert: []dynamic.Update{{U: u, V: v}}}
+		if o.Apply(b) != nil {
+			// Duplicate edge; flip to a delete of the same pair instead.
+			b = dynamic.Batch{Delete: b.Insert}
+			if err := o.Apply(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	traces := o.ChurnTraces()
+	if len(traces) != churnTraceRing {
+		t.Fatalf("ring holds %d traces, want capped at %d", len(traces), churnTraceRing)
+	}
+	head := o.Epoch()
+	if got := traces[len(traces)-1].Epoch; got != head {
+		t.Fatalf("newest trace epoch = %d, want head %d", got, head)
+	}
+}
+
+func TestMetricsAndChurnTraceEndpoints(t *testing.T) {
+	g := mustGNP(t, 24, 50, 7)
+	o, err := New(g, Config{K: 2, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHTTPHandler(o))
+	defer srv.Close()
+
+	if _, err := o.Query(0, 10, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Apply(dynamic.Batch{Insert: []dynamic.Update{{U: 0, V: 49}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := httpGet(t, srv.URL+"/metrics")
+	if resp.status != 200 {
+		t.Fatalf("GET /metrics = %d, want 200", resp.status)
+	}
+	if !strings.HasPrefix(resp.contentType, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q, want the text exposition format", resp.contentType)
+	}
+	for _, want := range []string{
+		`ftspanner_oracle_query_ns{result="miss",quantile="0.5"}`,
+		`ftspanner_apply_stage_ns_count{stage="repair"} 1`,
+		"ftspanner_epoch 2",
+		"ftspanner_oracle_queries_total 1",
+	} {
+		if !strings.Contains(resp.body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, resp.body)
+		}
+	}
+
+	trace := httpGet(t, srv.URL+"/debug/trace/churn")
+	if trace.status != 200 {
+		t.Fatalf("GET /debug/trace/churn = %d, want 200", trace.status)
+	}
+	for _, want := range []string{`"epoch":2`, `"traces":[`, `"repair_ns":`, `"patched_csr":`} {
+		if !strings.Contains(trace.body, want) {
+			t.Fatalf("/debug/trace/churn missing %q:\n%s", want, trace.body)
+		}
+	}
+}

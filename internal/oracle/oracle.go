@@ -61,6 +61,7 @@ import (
 	"ftspanner/internal/faultinject"
 	"ftspanner/internal/graph"
 	"ftspanner/internal/lbc"
+	"ftspanner/internal/obs"
 	"ftspanner/internal/sp"
 	"ftspanner/internal/wal"
 )
@@ -281,6 +282,11 @@ type Oracle struct {
 	checkpointErrs  atomic.Uint64
 	lastCkptEpoch   atomic.Uint64
 	recovery        *RecoveryInfo
+
+	// mx is the always-on observability surface (histograms, error
+	// counters, the churn-trace ring, and the /metrics registry). Its
+	// hot-path instruments are wait-free and allocation-free.
+	mx *metricsSet
 }
 
 // searcherPoolCap bounds how many warm searchers one partition parks. A
@@ -373,9 +379,13 @@ func New(g *graph.Graph, cfg Config) (*Oracle, error) {
 	}
 	o := newFromMaintainer(m, cfg, 1, nil)
 	if o.wal != nil {
-		if err := wal.WriteCheckpoint(o.wal.Dir(), 1, o.configStamp(), m.Graph(), m.Spanner()); err != nil {
+		ckptStart := time.Now()
+		bytes, err := wal.WriteCheckpoint(o.wal.Dir(), 1, o.configStamp(), m.Graph(), m.Spanner())
+		if err != nil {
 			return nil, fmt.Errorf("oracle: initial checkpoint: %w", err)
 		}
+		o.mx.ckptNs.Since(ckptStart)
+		o.mx.ckptBytes.Add(uint64(bytes))
 		o.checkpoints.Add(1)
 		o.lastCkptEpoch.Store(1)
 	}
@@ -425,6 +435,9 @@ func newFromMaintainer(m *dynamic.Maintainer, cfg Config, epoch uint64, rec *Rec
 	if cfg.CacheCapacity >= 0 {
 		o.cache = newResultCache(cfg.CacheCapacity, g.N())
 	}
+	// Last: the registry's func metrics read o.snap and o.cache, and
+	// newMetrics attaches the WAL's instruments.
+	o.mx = newMetrics(o)
 	return o
 }
 
@@ -542,11 +555,16 @@ func (o *Oracle) canonFaultSet(opts QueryOptions) (string, error) {
 // partition and runs one targeted BFS (unweighted) or Dijkstra (weighted)
 // on the snapshot's spanner minus the fault mask.
 func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
+	// obs.Now, not time.Now: the raw monotonic stamp costs half a clock
+	// read less, which matters on a hit path that is itself ~80ns.
+	start := obs.Now()
 	if u < 0 || u >= o.n || v < 0 || v >= o.n {
+		o.mx.queryErrors.Inc()
 		return QueryResult{}, fmt.Errorf("oracle: query pair {%d,%d} out of range [0,%d)", u, v, o.n)
 	}
 	faults, err := o.canonFaults(opts)
 	if err != nil {
+		o.mx.queryErrors.Inc()
 		return QueryResult{}, err
 	}
 	o.queries.Add(1)
@@ -561,6 +579,7 @@ func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 			if opts.CopyPath && path != nil {
 				path = append([]int(nil), path...)
 			}
+			o.mx.queryHitNs.SinceStamp(start)
 			return QueryResult{U: u, V: v, Distance: e.dist, Path: path, Epoch: e.epoch, CacheHit: true}, nil
 		}
 		// Only consulted-and-missed counts as a miss: NoCache and
@@ -613,6 +632,11 @@ func (o *Oracle) Query(u, v int, opts QueryOptions) (QueryResult, error) {
 		// The cache now holds path; hand the caller its own copy.
 		res.Path = append([]int(nil), res.Path...)
 	}
+	if opts.MaxDistance > 0 {
+		o.mx.queryCappedNs.SinceStamp(start)
+	} else {
+		o.mx.queryMissNs.SinceStamp(start)
+	}
 	return res, nil
 }
 
@@ -657,22 +681,31 @@ func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
 	if o.degraded.Load() {
 		return o.snap.Load().epoch, ErrDegraded
 	}
+	var stages stageTimes
 	cur := o.snap.Load()
 	if o.wal != nil {
 		// Validate without mutating so a bad batch is rejected before it
 		// pollutes the log, then append: write-ahead of the state change.
+		vStart := time.Now()
 		if err := o.m.Validate(b); err != nil {
+			o.mx.applyErrors.Inc()
 			return cur.epoch, fmt.Errorf("oracle: %w", err)
 		}
+		stages.validate = time.Since(vStart).Nanoseconds()
+		wStart := time.Now()
 		if err := o.wal.AppendBatch(cur.epoch+1, b); err != nil {
 			o.degraded.Store(true)
+			o.mx.applyErrors.Inc()
 			return cur.epoch, fmt.Errorf("oracle: wal append: %w", err)
 		}
+		stages.walAppend = time.Since(wStart).Nanoseconds()
 		if err := faultinject.Fire(faultinject.AfterAppend); err != nil {
 			o.degraded.Store(true)
+			o.mx.applyErrors.Inc()
 			return cur.epoch, fmt.Errorf("oracle: %w", err)
 		}
 	}
+	repairStart := time.Now()
 	delta, err := o.m.ApplyBatch(b)
 	if err != nil {
 		if o.wal != nil {
@@ -681,8 +714,10 @@ func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
 			// can no longer be trusted to match a future recovery.
 			o.degraded.Store(true)
 		}
+		o.mx.applyErrors.Inc()
 		return cur.epoch, fmt.Errorf("oracle: %w", err)
 	}
+	stages.repair = time.Since(repairStart).Nanoseconds()
 	start := time.Now()
 	next := &snapshot{epoch: cur.epoch + 1, maint: o.m.Stats()}
 
@@ -711,6 +746,8 @@ func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
 	} else {
 		next.g = graph.BuildCSR(o.m.Graph())
 	}
+	stages.csr = time.Since(csrStart).Nanoseconds()
+	publishStart := time.Now()
 
 	// Invalidate before publishing: a reader that already loaded the new
 	// snapshot must never hit a pre-batch entry in a touched shard.
@@ -728,12 +765,17 @@ func (o *Oracle) apply(b dynamic.Batch) (uint64, error) {
 		// Memory is mutated but readers never saw it; a restart replays the
 		// logged batch, so recovery converges on the mutated state.
 		o.degraded.Store(true)
+		o.mx.applyErrors.Inc()
 		return cur.epoch, fmt.Errorf("oracle: %w", err)
 	}
 	next.swapNs = time.Since(start).Nanoseconds()
 	o.publishLocked(next, cur)
+	stages.publish = time.Since(publishStart).Nanoseconds()
 	o.batches.Add(1)
-	o.lastApplyNs.Store(time.Since(applyStart).Nanoseconds())
+	totalNs := time.Since(applyStart).Nanoseconds()
+	o.lastApplyNs.Store(totalNs)
+	o.mx.recordApply(next.epoch, totalNs, len(b.Insert), len(b.Delete),
+		delta.Rebuilt, next.patched, next.invalidated, stages)
 
 	if o.wal != nil && o.checkpointEvery > 0 {
 		o.sinceCkpt++

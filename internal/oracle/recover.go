@@ -149,10 +149,14 @@ func (o *Oracle) checkpointLocked() error {
 	o.publishLocked(next, cur)
 	o.sinceCkpt = 0
 
-	if err := wal.WriteCheckpoint(o.wal.Dir(), epoch, o.configStamp(), o.m.Graph(), o.m.Spanner()); err != nil {
+	ckptStart := time.Now()
+	bytes, err := wal.WriteCheckpoint(o.wal.Dir(), epoch, o.configStamp(), o.m.Graph(), o.m.Spanner())
+	if err != nil {
 		o.checkpointErrs.Add(1)
 		return nil
 	}
+	o.mx.ckptNs.Since(ckptStart)
+	o.mx.ckptBytes.Add(uint64(bytes))
 	o.checkpoints.Add(1)
 	o.lastCkptEpoch.Store(epoch)
 	wal.PruneCheckpoints(o.wal.Dir(), 2)

@@ -58,82 +58,92 @@ func ckptEpoch(name string) (uint64, bool) {
 	return epoch, true
 }
 
-// writeContentFile streams g to <dir>/<name> via tmp+rename and returns the
-// CRC-32C of the file contents.
-func writeContentFile(dir, name string, g graph.View) (uint32, error) {
+// countWriter tallies bytes so WriteCheckpoint can report checkpoint size.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// writeContentFile streams g to <dir>/<name> via tmp+rename and returns
+// the byte count and CRC-32C of the file contents.
+func writeContentFile(dir, name string, g graph.View) (int64, uint32, error) {
 	tmp := filepath.Join(dir, name+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
-		return 0, fmt.Errorf("wal: checkpoint: %w", err)
+		return 0, 0, fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	crc := crc32.New(crcTable)
-	if err := graph.Write(io.MultiWriter(f, crc), g); err != nil {
+	var cw countWriter
+	if err := graph.Write(io.MultiWriter(f, crc, &cw), g); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
+		return 0, 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
+		return 0, 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
+		return 0, 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
 		os.Remove(tmp)
-		return 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
+		return 0, 0, fmt.Errorf("wal: checkpoint %s: %w", name, err)
 	}
-	return crc.Sum32(), nil
+	return cw.n, crc.Sum32(), nil
 }
 
 // WriteCheckpoint streams g and h into dir as the checkpoint for epoch and
 // commits it by writing the meta file last. config is the writer's opaque
-// configuration stamp, echoed back by LoadNewestCheckpoint.
-func WriteCheckpoint(dir string, epoch uint64, config string, g, h graph.View) error {
+// configuration stamp, echoed back by LoadNewestCheckpoint. Returns the
+// number of content bytes written (graph + spanner + meta).
+func WriteCheckpoint(dir string, epoch uint64, config string, g, h graph.View) (int64, error) {
 	if strings.ContainsAny(config, "\n\r") {
-		return fmt.Errorf("wal: checkpoint config must be a single line")
+		return 0, fmt.Errorf("wal: checkpoint config must be a single line")
 	}
 	base := ckptBase(epoch)
-	gCRC, err := writeContentFile(dir, base+".graph", g)
+	gBytes, gCRC, err := writeContentFile(dir, base+".graph", g)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	hCRC, err := writeContentFile(dir, base+".spanner", h)
+	hBytes, hCRC, err := writeContentFile(dir, base+".spanner", h)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// The adversarial crash point: content on disk, commit record not.
 	if err := faultinject.Fire(faultinject.MidCheckpoint); err != nil {
-		return fmt.Errorf("wal: checkpoint: %w", err)
+		return 0, fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	metaTmp := filepath.Join(dir, base+".meta.tmp")
 	meta := fmt.Sprintf("ftckpt 1\nepoch %d\ngraph_crc %08x\nspanner_crc %08x\nconfig %s\n",
 		epoch, gCRC, hCRC, config)
 	f, err := os.Create(metaTmp)
 	if err != nil {
-		return fmt.Errorf("wal: checkpoint meta: %w", err)
+		return 0, fmt.Errorf("wal: checkpoint meta: %w", err)
 	}
 	if _, err := f.WriteString(meta); err != nil {
 		f.Close()
 		os.Remove(metaTmp)
-		return fmt.Errorf("wal: checkpoint meta: %w", err)
+		return 0, fmt.Errorf("wal: checkpoint meta: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(metaTmp)
-		return fmt.Errorf("wal: checkpoint meta: %w", err)
+		return 0, fmt.Errorf("wal: checkpoint meta: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(metaTmp)
-		return fmt.Errorf("wal: checkpoint meta: %w", err)
+		return 0, fmt.Errorf("wal: checkpoint meta: %w", err)
 	}
 	if err := os.Rename(metaTmp, filepath.Join(dir, base+".meta")); err != nil {
 		os.Remove(metaTmp)
-		return fmt.Errorf("wal: checkpoint meta: %w", err)
+		return 0, fmt.Errorf("wal: checkpoint meta: %w", err)
 	}
-	return syncDir(dir)
+	return gBytes + hBytes + int64(len(meta)), syncDir(dir)
 }
 
 // syncDir fsyncs the directory so renames survive power loss. Best-effort:

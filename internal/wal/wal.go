@@ -47,6 +47,7 @@ import (
 
 	"ftspanner/internal/dynamic"
 	"ftspanner/internal/faultinject"
+	"ftspanner/internal/obs"
 )
 
 // SyncPolicy says when appends reach the platter.
@@ -153,6 +154,29 @@ type Log struct {
 	tornBytes int64    // trailing bytes truncated at Open
 	appends   uint64
 	syncs     uint64
+
+	metrics Metrics
+}
+
+// Metrics wires optional observability instruments into the log's write
+// path. Nil fields are skipped; all instruments are concurrency-safe, so
+// one set can be shared with other subsystems' registries.
+type Metrics struct {
+	// AppendNs times each record append, including any policy-triggered
+	// fsync.
+	AppendNs *obs.Histogram
+	// FsyncNs times each fsync, whether policy-triggered or explicit.
+	FsyncNs *obs.Histogram
+	// AppendedBytes counts bytes written to the log (headers + payloads).
+	AppendedBytes *obs.Counter
+}
+
+// SetMetrics attaches observability instruments to the log. Call it
+// before serving traffic; appends racing a SetMetrics may go unrecorded.
+func (l *Log) SetMetrics(m Metrics) {
+	l.mu.Lock()
+	l.metrics = m
+	l.mu.Unlock()
 }
 
 // Open opens (creating if necessary) the churn log in opts.Dir, scans it,
@@ -384,6 +408,7 @@ func (l *Log) AppendCheckpointMark(epoch uint64) error {
 }
 
 func (l *Log) append(payload []byte) error {
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -408,6 +433,9 @@ func (l *Log) append(payload []byte) error {
 	}
 	l.offset += int64(len(head)) + int64(len(payload))
 	l.appends++
+	if l.metrics.AppendedBytes != nil {
+		l.metrics.AppendedBytes.Add(uint64(len(head)) + uint64(len(payload)))
+	}
 	switch l.opts.Sync {
 	case SyncAlways:
 		if err := l.syncLocked(); err != nil {
@@ -419,6 +447,9 @@ func (l *Log) append(payload []byte) error {
 				return err
 			}
 		}
+	}
+	if l.metrics.AppendNs != nil {
+		l.metrics.AppendNs.Since(start)
 	}
 	return nil
 }
@@ -434,11 +465,15 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.lastSync = time.Now()
 	l.syncs++
+	if l.metrics.FsyncNs != nil {
+		l.metrics.FsyncNs.Since(start)
+	}
 	return nil
 }
 

@@ -363,7 +363,7 @@ func sameGraph(t *testing.T, a, b graph.View) {
 func TestCheckpointRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	g, h := testGraphPair(t)
-	if err := WriteCheckpoint(dir, 17, "k=2 f=1", g, h); err != nil {
+	if _, err := WriteCheckpoint(dir, 17, "k=2 f=1", g, h); err != nil {
 		t.Fatal(err)
 	}
 	ck, err := LoadNewestCheckpoint(dir)
@@ -382,7 +382,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 func TestCheckpointRejectsMultilineConfig(t *testing.T) {
 	g, h := testGraphPair(t)
-	if err := WriteCheckpoint(t.TempDir(), 1, "two\nlines", g, h); err == nil {
+	if _, err := WriteCheckpoint(t.TempDir(), 1, "two\nlines", g, h); err == nil {
 		t.Fatal("multi-line config accepted")
 	}
 }
@@ -418,10 +418,10 @@ func TestLoadSkipsTornCheckpoint(t *testing.T) {
 	for name, breakIt := range corrupt {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
-			if err := WriteCheckpoint(dir, 5, "cfg", g, h); err != nil {
+			if _, err := WriteCheckpoint(dir, 5, "cfg", g, h); err != nil {
 				t.Fatal(err)
 			}
-			if err := WriteCheckpoint(dir, 9, "cfg", g, h); err != nil {
+			if _, err := WriteCheckpoint(dir, 9, "cfg", g, h); err != nil {
 				t.Fatal(err)
 			}
 			breakIt(t, dir)
@@ -447,7 +447,7 @@ func TestPruneCheckpoints(t *testing.T) {
 	dir := t.TempDir()
 	g, h := testGraphPair(t)
 	for _, e := range []uint64{3, 7, 11, 15} {
-		if err := WriteCheckpoint(dir, e, "cfg", g, h); err != nil {
+		if _, err := WriteCheckpoint(dir, e, "cfg", g, h); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -481,7 +481,7 @@ func TestPruneCheckpoints(t *testing.T) {
 func TestHasStateWithOnlyCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	g, h := testGraphPair(t)
-	if err := WriteCheckpoint(dir, 1, "cfg", g, h); err != nil {
+	if _, err := WriteCheckpoint(dir, 1, "cfg", g, h); err != nil {
 		t.Fatal(err)
 	}
 	l, err := Open(Options{Dir: dir})
